@@ -1,0 +1,16 @@
+"""Ablation A2 (DESIGN.md): effect of the approximation-precision schedule.
+
+Compares the decaying α schedule against two fixed extremes: α = 1 (maximum
+precision from the first iteration; spends a lot of time per join order) and
+α = 25 (permanently coarse; explores many join orders but never refines).
+Section 4.3 argues the decaying schedule is the right middle ground.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import ablation_alpha_spec
+
+
+def test_ablation_alpha(benchmark, scale):
+    result = run_figure_benchmark(benchmark, ablation_alpha_spec, scale)
+    assert {"RMQ", "RMQ-AlphaFixed1", "RMQ-AlphaFixed25"} <= set(result.spec.algorithms)
+    assert result.cells

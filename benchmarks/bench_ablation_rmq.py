@@ -1,0 +1,17 @@
+"""Ablation A1 (DESIGN.md): contribution of RMQ's design choices.
+
+Compares full RMQ against variants without the partial-plan cache, without
+hill climbing, and restricted to left-deep random plans, plus plain II as the
+"no frontier approximation at all" end point.  The plan cache and the
+frontier approximation are the two features that distinguish RMQ from II in
+the paper's analysis; disabling them should cost approximation quality.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import ablation_rmq_spec
+
+
+def test_ablation_rmq(benchmark, scale):
+    result = run_figure_benchmark(benchmark, ablation_rmq_spec, scale)
+    assert {"RMQ", "RMQ-NoCache", "RMQ-NoClimb"} <= set(result.spec.algorithms)
+    assert result.cells

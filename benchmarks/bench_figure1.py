@@ -1,0 +1,28 @@
+"""Figure 1: median approximation error vs. optimization time, two cost metrics.
+
+Paper setting: chain/cycle/star join graphs, 10-100 tables, Steinbrunn
+selectivities, 20 test cases, up to 3 s of optimization time, algorithms
+DP(∞)/DP(1000)/DP(2)/SA/2P/NSGA-II/II/RMQ.  Expected shape: DP variants only
+return results for the smallest queries; RMQ is competitive from ~25 tables
+and dominates clearly for the largest queries; SA and 2P trail by orders of
+magnitude.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import figure1_spec
+
+
+def test_figure1(benchmark, scale):
+    result = run_figure_benchmark(benchmark, figure1_spec, scale)
+    assert result.cells
+    # Sanity series: the DP approximation scheme produces no result within the
+    # budget for the largest query size of the grid (it does not scale),
+    # except at the very smallest sizes of the smoke grid.
+    largest = max(result.spec.table_counts)
+    if largest >= 10:
+        infinite_cells = sum(
+            1
+            for shape in result.spec.graph_shapes
+            if result.cell(shape, largest, "DP(2)").final_error == float("inf")
+        )
+        assert infinite_cells >= 1

@@ -1,0 +1,15 @@
+"""Figure 2: median approximation error vs. optimization time, three cost metrics.
+
+Same grid as Figure 1 with three cost metrics (time, buffer, disk).  The
+paper reports that the gap between RMQ and the other randomized algorithms
+widens with the number of cost metrics.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import figure2_spec
+
+
+def test_figure2(benchmark, scale):
+    result = run_figure_benchmark(benchmark, figure2_spec, scale)
+    assert result.cells
+    assert result.spec.num_metrics == 3

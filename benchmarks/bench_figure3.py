@@ -1,0 +1,49 @@
+"""Figure 3: climb path lengths and number of Pareto plans found by RMQ.
+
+Left panel: median path length from a random plan to the nearest local
+Pareto optimum (expected to grow slowly with the number of tables,
+Theorem 2).  Right panel: median number of Pareto plans found by RMQ
+(expected to grow with the query size).
+"""
+
+import os
+
+from conftest import save_report
+from repro.bench.scenario import ScenarioScale
+from repro.bench.statistics import run_figure3_statistics
+from repro.query.join_graph import GraphShape
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+
+if _SCALE == "paper":
+    _TABLE_COUNTS = (10, 25, 50, 75, 100)
+    _CASES, _ITERATIONS = 20, 20
+elif _SCALE == "default":
+    _TABLE_COUNTS = (10, 25, 50)
+    _CASES, _ITERATIONS = 3, 8
+else:
+    _TABLE_COUNTS = (6, 10, 15)
+    _CASES, _ITERATIONS = 2, 4
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(
+        run_figure3_statistics,
+        kwargs=dict(
+            shapes=(GraphShape.CHAIN, GraphShape.STAR, GraphShape.CYCLE),
+            table_counts=_TABLE_COUNTS,
+            num_test_cases=_CASES,
+            iterations_per_case=_ITERATIONS,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    report = result.format_report()
+    path = save_report("figure3", ScenarioScale(_SCALE), report)
+    print()
+    print(report)
+    print(f"[report saved to {path}]")
+    # Path lengths stay small (the paper reports medians between 4 and 6 for
+    # 10-100 tables); Pareto-set sizes are positive everywhere.
+    assert all(value < 60 for value in result.median_path_length.values())
+    assert all(value >= 1 for value in result.median_pareto_plans.values())

@@ -1,0 +1,16 @@
+"""Figure 4: two cost metrics with Bruno's MinMax join selectivities.
+
+Appendix experiment verifying that the Figure 1 results generalize to a
+different selectivity-generation method (each join output cardinality lies
+between its input cardinalities).
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import figure4_spec
+from repro.query.generator import SelectivityModel
+
+
+def test_figure4(benchmark, scale):
+    result = run_figure_benchmark(benchmark, figure4_spec, scale)
+    assert result.spec.selectivity_model is SelectivityModel.MINMAX
+    assert result.cells

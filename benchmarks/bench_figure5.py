@@ -1,0 +1,15 @@
+"""Figure 5: three cost metrics with Bruno's MinMax join selectivities.
+
+Appendix experiment; same grid as Figure 4 with three cost metrics.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import figure5_spec
+from repro.query.generator import SelectivityModel
+
+
+def test_figure5(benchmark, scale):
+    result = run_figure_benchmark(benchmark, figure5_spec, scale)
+    assert result.spec.selectivity_model is SelectivityModel.MINMAX
+    assert result.spec.num_metrics == 3
+    assert result.cells

@@ -1,0 +1,16 @@
+"""Figure 6: long-budget comparison, two cost metrics, error capped at 1e10.
+
+Paper setting: 50- and 100-table queries, 30 s of optimization time; the DP
+variants never return a result and SA/2P exceed the 1e10 error cap, so the
+plot effectively compares RMQ, II and NSGA-II.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import figure6_spec
+
+
+def test_figure6(benchmark, scale):
+    result = run_figure_benchmark(benchmark, figure6_spec, scale)
+    assert result.spec.error_cap == 1e10
+    for cell in result.cells:
+        assert all(error <= 1e10 for error in cell.median_errors)

@@ -1,0 +1,15 @@
+"""Figure 7: long-budget comparison, three cost metrics, error capped at 1e10.
+
+Same as Figure 6 with three cost metrics; the paper reports that RMQ's
+advantage over the other randomized algorithms grows with the metric count.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import figure7_spec
+
+
+def test_figure7(benchmark, scale):
+    result = run_figure_benchmark(benchmark, figure7_spec, scale)
+    assert result.spec.num_metrics == 3
+    assert result.spec.error_cap == 1e10
+    assert result.cells

@@ -1,0 +1,16 @@
+"""Figure 9: precise approximation error on small queries, three cost metrics.
+
+Same as Figure 8 with three cost metrics.  In the paper RMQ is the only
+randomized algorithm achieving a perfect approximation for eight-table
+queries with three metrics.
+"""
+
+from conftest import run_figure_benchmark
+from repro.bench.figures import figure9_spec
+
+
+def test_figure9(benchmark, scale):
+    result = run_figure_benchmark(benchmark, figure9_spec, scale)
+    assert result.spec.num_metrics == 3
+    assert result.spec.reference_algorithm == "DP(1.01)"
+    assert result.cells

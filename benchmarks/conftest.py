@@ -1,0 +1,71 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_figureN.py`` file regenerates one figure of the paper's
+evaluation at a configurable scale.  By default the SMOKE scale is used so
+that ``pytest benchmarks/ --benchmark-only`` completes in minutes; set the
+environment variable ``REPRO_BENCH_SCALE`` to ``default`` or ``paper`` to run
+the larger grids (the paper grid takes hours in pure Python).
+
+The text report printed for every figure contains the same series as the
+corresponding figure in the paper: one block per (join-graph shape, query
+size) cell, one row per algorithm, one column per optimization-time
+checkpoint, values being the median approximation error α.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.scenario import ScenarioScale
+
+
+def bench_scale() -> ScenarioScale:
+    """Scale selected via the REPRO_BENCH_SCALE environment variable."""
+    value = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    try:
+        return ScenarioScale(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of smoke/default/paper, got {value!r}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def scale() -> ScenarioScale:
+    """The scenario scale used by all figure benchmarks in this session."""
+    return bench_scale()
+
+
+#: Directory where every benchmark writes its text report (in addition to
+#: printing it), so the series survive pytest's output capturing.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, scale: ScenarioScale, report: str) -> str:
+    """Write a figure report to benchmarks/results/ and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}_{scale.value}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+    return path
+
+
+def run_figure_benchmark(benchmark, spec_constructor, scale: ScenarioScale):
+    """Run one figure scenario under pytest-benchmark and report its series.
+
+    The report is printed (visible with ``pytest -s`` or on failure) and also
+    written to ``benchmarks/results/<figure>_<scale>.txt``.
+    """
+    from repro.bench.reporting import format_scenario_report, summarize_winners
+    from repro.bench.runner import run_scenario
+
+    spec = spec_constructor(scale)
+    result = benchmark.pedantic(run_scenario, args=(spec,), iterations=1, rounds=1)
+    report = format_scenario_report(result) + "\n" + summarize_winners(result)
+    path = save_report(spec.name, scale, report)
+    print()
+    print(report)
+    print(f"[report saved to {path}]")
+    return result

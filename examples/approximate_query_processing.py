@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Approximate query processing: trading result precision against time.
+
+The paper's second motivating scenario: "approximate query processing where
+users care about execution time and result precision".  Sampling scan
+operators read only a fraction of each table; that lowers execution time but
+incurs precision loss, which the paper treats as a cost metric.  This example
+shows the precision/time frontier RMQ finds and how different interactive
+"impatience" levels map to different sampling choices.
+
+Run with::
+
+    python examples/approximate_query_processing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    GraphShape,
+    MultiObjectiveCostModel,
+    OperatorLibrary,
+    QueryGenerator,
+    RMQOptimizer,
+    plan_signature,
+)
+from repro.core.frontier import AlphaSchedule
+
+
+def main(iterations: int = 40, seed: int = 11) -> None:
+    rng = random.Random(seed)
+    query = QueryGenerator(rng=rng).generate(6, GraphShape.STAR, name="dashboard_query")
+    library = OperatorLibrary.sampling(sampling_rates=(1.0, 0.1, 0.01))
+    cost_model = MultiObjectiveCostModel(
+        query, metrics=("time", "precision_loss"), library=library
+    )
+
+    optimizer = RMQOptimizer(
+        cost_model, rng=rng, schedule=AlphaSchedule.constant(1.0)
+    )
+    frontier = optimizer.run(max_steps=iterations)
+
+    print(f"Query {query.name}: {query.num_tables} tables, sampling rates 100%/10%/1%")
+    print(f"\nPareto frontier (execution time vs. precision loss), "
+          f"{len(frontier)} tradeoffs:")
+    print(f"    {'time':>12}  {'precision loss':>15}    plan")
+    for plan in sorted(frontier, key=lambda p: p.cost[0]):
+        print(
+            f"    {plan.cost[0]:12.1f}  {plan.cost[1]:15.3f}    {plan_signature(plan)}"
+        )
+
+    print("\nPlan selection for different precision requirements:")
+    for max_loss, label in [(0.0, "exact result"), (1.0, "rough preview"), (3.0, "instant sketch")]:
+        eligible = [plan for plan in frontier if plan.cost[1] <= max_loss + 1e-9]
+        if not eligible:
+            continue
+        choice = min(eligible, key=lambda p: p.cost[0])
+        print(
+            f"  {label:<15} (loss ≤ {max_loss:g}): time {choice.cost[0]:10.1f}, "
+            f"loss {choice.cost[1]:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare RMQ against the paper's baselines on a single query.
+
+Runs every randomized algorithm of the paper's evaluation (plus the DP
+approximation scheme) on the same random query under the same wall-clock
+budget, builds the union reference frontier, and prints each algorithm's
+approximation error — a single-cell version of Figures 1 and 2.
+
+Run with::
+
+    python examples/compare_algorithms.py [num_tables] [seconds_per_algorithm]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GraphShape, MultiObjectiveCostModel, QueryGenerator
+from repro.baselines import PAPER_ALGORITHMS
+from repro.bench.anytime import evaluate_anytime
+from repro.bench.reference import union_reference_frontier
+from repro.bench.runner import build_optimizer
+from repro.bench.scenario import ScenarioScale, ScenarioSpec
+from repro.pareto.epsilon import approximation_error
+from repro.utils.rng import derive_rng
+
+
+def main(num_tables: int = 12, budget: float = 1.0, seed: int = 3) -> None:
+    query = QueryGenerator(rng=derive_rng(seed, "query")).generate(
+        num_tables, GraphShape.CYCLE
+    )
+    cost_model = MultiObjectiveCostModel(query, metrics=("time", "buffer", "disk"))
+    checkpoints = tuple(budget * f for f in (0.25, 0.5, 1.0))
+
+    # A scenario spec is only needed to carry algorithm-level options
+    # (NSGA-II population size, RMQ schedule compression) into the builder.
+    spec = ScenarioSpec(
+        name="compare_algorithms",
+        description="single-query comparison",
+        graph_shapes=(GraphShape.CYCLE,),
+        table_counts=(num_tables,),
+        num_metrics=3,
+        algorithms=PAPER_ALGORITHMS,
+        time_budget=budget,
+        checkpoints=checkpoints,
+        nsga_population=50,
+        scale=ScenarioScale.DEFAULT,
+        seed=seed,
+    )
+
+    print(f"Query: {query.num_tables}-table cycle; budget {budget:g}s per algorithm\n")
+    results = {}
+    for name in PAPER_ALGORITHMS:
+        optimizer = build_optimizer(name, cost_model, derive_rng(seed, name), spec)
+        records = evaluate_anytime(optimizer, checkpoints, budget)
+        results[name] = records
+        print(f"  {name:<13} finished: steps={optimizer.statistics.steps:>5}  "
+              f"plans in frontier={records[-1].frontier_size}")
+
+    reference = union_reference_frontier(
+        [records[-1].frontier_costs for records in results.values()]
+    )
+    print(f"\nReference frontier size (union of all algorithms): {len(reference)}")
+    print(f"\nApproximation error (lower is better, 1.0 = covers the reference):")
+    header = "  ".join(f"t={t:g}s" for t in checkpoints)
+    print(f"  {'algorithm':<13} {header}")
+    for name, records in results.items():
+        errors = []
+        for record in records:
+            error = approximation_error(record.frontier_costs, reference)
+            errors.append("inf" if error == float("inf") else f"{error:.3g}")
+        print(f"  {name:<13} " + "  ".join(f"{e:>8}" for e in errors))
+
+
+if __name__ == "__main__":
+    tables = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    seconds = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    main(tables, seconds)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize a randomly generated query with RMQ.
+
+Generates a 20-table chain query, runs the RMQ optimizer for a fixed number
+of iterations, and prints the resulting Pareto-optimal cost tradeoffs together
+with the plan realizing the fastest tradeoff.
+
+Run with::
+
+    python examples/quickstart.py [num_tables] [iterations]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import (
+    GraphShape,
+    MultiObjectiveCostModel,
+    QueryGenerator,
+    RMQOptimizer,
+    explain_plan,
+    plan_signature,
+)
+
+
+def main(num_tables: int = 20, iterations: int = 30, seed: int = 42) -> None:
+    rng = random.Random(seed)
+
+    # 1. Generate a random query (chain-shaped join graph, Steinbrunn-style
+    #    table cardinalities and selectivities).
+    query = QueryGenerator(rng=rng).generate(num_tables, GraphShape.CHAIN)
+    print(f"Query: {query.name} joining {query.num_tables} tables")
+
+    # 2. Attach a multi-objective cost model: execution time, buffer space
+    #    and disk footprint — the three metrics of the paper's evaluation.
+    cost_model = MultiObjectiveCostModel(query, metrics=("time", "buffer", "disk"))
+
+    # 3. Run the randomized multi-objective optimizer (Algorithm 1).
+    optimizer = RMQOptimizer(cost_model, rng=rng)
+    pareto_plans = optimizer.run(max_steps=iterations)
+
+    # 4. Inspect the approximate Pareto frontier.
+    print(f"\nAfter {optimizer.iteration} iterations RMQ found "
+          f"{len(pareto_plans)} Pareto-optimal cost tradeoffs:")
+    header = "  ".join(f"{name:>12}" for name in cost_model.metric_names)
+    print(f"    {header}    plan")
+    for plan in sorted(pareto_plans, key=lambda p: p.cost[0]):
+        values = "  ".join(f"{value:12.1f}" for value in plan.cost)
+        print(f"    {values}    {plan_signature(plan)}")
+
+    fastest = min(pareto_plans, key=lambda p: p.cost[0])
+    print("\nOperator tree of the fastest plan:")
+    print(explain_plan(fastest, metric_names=cost_model.metric_names))
+
+    lengths = optimizer.climb_path_lengths
+    print(f"\nHill-climbing path lengths per iteration: "
+          f"min={min(lengths)} median={sorted(lengths)[len(lengths) // 2]} max={max(lengths)}")
+    print(f"Plan cache: {len(optimizer.plan_cache)} intermediate results, "
+          f"{optimizer.plan_cache.total_plans} cached partial plans")
+
+
+if __name__ == "__main__":
+    tables = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    iters = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+    main(tables, iters)

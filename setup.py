@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The declarative configuration lives in ``pyproject.toml``; this file exists
+so that editable installs work in environments without the ``wheel`` package
+(``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

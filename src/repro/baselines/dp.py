@@ -1,0 +1,157 @@
+"""DP(α) — dynamic-programming approximation schemes.
+
+The paper compares against the approximation schemes of its predecessor
+(Trummer & Koch, SIGMOD 2014): bottom-up dynamic programming over table
+subsets where, for every subset, an α-approximate Pareto set of partial plans
+is kept instead of the full Pareto set.  Choosing a large α makes the scheme
+fast but imprecise (``DP(Infinity)`` keeps a single plan per subset and
+output format); α close to one approaches the exhaustive multi-objective DP.
+
+To honour the *overall* approximation guarantee, the per-subset pruning
+factor is ``α^(1/(n-1))`` (errors compound once per join level, and a plan
+for ``n`` tables has ``n - 1`` joins), following the approach of the
+original approximation scheme.
+
+The optimizer is anytime in the weak sense of the paper's evaluation: it
+exposes ``step()`` processing a bounded batch of subset-combination tasks,
+but its :meth:`frontier` stays empty until the full table set has been
+processed — exactly how the DP baselines behave in Figures 1–7, where they
+produce no result for larger queries within the time budget.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterator, List, Tuple
+
+from repro.core.interface import AnytimeOptimizer
+from repro.core.plan_cache import PlanCache
+from repro.cost.model import MultiObjectiveCostModel
+from repro.plans.plan import Plan
+
+#: Cap used in place of an infinite approximation factor so that arithmetic
+#: with zero-valued cost components stays well defined.
+_ALPHA_CAP = 1e12
+
+
+class DPOptimizer(AnytimeOptimizer):
+    """Multi-objective dynamic programming with α-approximate pruning.
+
+    Parameters
+    ----------
+    cost_model:
+        Cost model / plan factory for the query.
+    alpha:
+        Overall approximation-factor target (≥ 1); ``float('inf')`` keeps a
+        single plan per subset and output format.
+    tasks_per_step:
+        Number of subset-combination tasks processed per :meth:`step` call;
+        bounds the work done between anytime checkpoints.
+    """
+
+    def __init__(
+        self,
+        cost_model: MultiObjectiveCostModel,
+        alpha: float = 2.0,
+        tasks_per_step: int = 50,
+    ) -> None:
+        super().__init__(cost_model)
+        if alpha < 1.0:
+            raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+        if tasks_per_step < 1:
+            raise ValueError("tasks_per_step must be positive")
+        self.name = f"DP({self._format_alpha(alpha)})"
+        self._alpha = min(alpha, _ALPHA_CAP)
+        self._tasks_per_step = tasks_per_step
+        self._cache = PlanCache()
+        self._tasks = self._task_generator()
+        self._finished = False
+        num_joins = max(1, cost_model.query.num_tables - 1)
+        if self._alpha >= _ALPHA_CAP:
+            self._level_alpha = _ALPHA_CAP
+        else:
+            self._level_alpha = self._alpha ** (1.0 / num_joins)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def alpha(self) -> float:
+        """Overall approximation-factor target."""
+        return self._alpha
+
+    @property
+    def level_alpha(self) -> float:
+        """Per-join pruning factor derived from the overall target."""
+        return self._level_alpha
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The DP table: partial plans per table subset."""
+        return self._cache
+
+    @property
+    def finished(self) -> bool:
+        """Whether every subset has been processed."""
+        return self._finished
+
+    # ------------------------------------------------------------- protocol
+    def step(self) -> None:
+        """Process a bounded batch of subset-combination tasks."""
+        if self._finished:
+            return
+        for _ in range(self._tasks_per_step):
+            try:
+                left, right = next(self._tasks)
+            except StopIteration:
+                self._finished = True
+                break
+            self._combine(left, right)
+        self.statistics.steps += 1
+
+    def frontier(self) -> List[Plan]:
+        """Plans for the full query table set (empty until DP completes it)."""
+        return self._cache.plans(self.query.relations)
+
+    # ------------------------------------------------------------ internals
+    def _task_generator(self) -> Iterator[Tuple[FrozenSet[int], FrozenSet[int]]]:
+        """Lazily yield (outer set, inner set) combination tasks, bottom-up.
+
+        Single-table subsets are seeded with scan plans before any join task
+        of the corresponding size is emitted.  Subsets are enumerated by
+        increasing size so that all sub-results exist when a task runs.
+        """
+        tables = sorted(self.query.relations)
+        for table_index in tables:
+            self._seed_scans(table_index)
+        for size in range(2, len(tables) + 1):
+            for subset in combinations(tables, size):
+                subset_set = frozenset(subset)
+                # Enumerate every ordered split into two non-empty parts.
+                for left_size in range(1, size):
+                    for left in combinations(subset, left_size):
+                        left_set = frozenset(left)
+                        right_set = subset_set - left_set
+                        yield left_set, right_set
+
+    def _seed_scans(self, table_index: int) -> None:
+        for operator in self.cost_model.scan_operators(table_index):
+            plan = self.cost_model.make_scan(table_index, operator)
+            self.statistics.plans_built += 1
+            self._cache.insert(plan, self._level_alpha)
+
+    def _combine(self, left: FrozenSet[int], right: FrozenSet[int]) -> None:
+        outer_plans = self._cache.plans(left)
+        inner_plans = self._cache.plans(right)
+        for outer in outer_plans:
+            for inner in inner_plans:
+                for operator in self.cost_model.join_operators(outer, inner):
+                    candidate = self.cost_model.make_join(outer, inner, operator)
+                    self.statistics.plans_built += 1
+                    self._cache.insert(candidate, self._level_alpha)
+
+    @staticmethod
+    def _format_alpha(alpha: float) -> str:
+        if alpha == float("inf"):
+            return "Infinity"
+        if alpha == int(alpha):
+            return str(int(alpha))
+        return f"{alpha:g}"

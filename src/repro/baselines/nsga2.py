@@ -1,0 +1,300 @@
+"""NSGA-II for multi-objective query optimization.
+
+The paper uses the Non-dominated Sorting Genetic Algorithm II (Deb et al.)
+with "an ordinal plan encoding and a corresponding single-point crossover"
+as proposed for (single-objective) query optimization by Steinbrunn et al.,
+and a population of 200 individuals (Section 6.1).
+
+Chromosome layout (all genes are small integers):
+
+* ``n`` ordinal join-order genes — gene ``i`` selects one of the tables that
+  have not been placed yet (its valid range shrinks with ``i``), which makes
+  single-point crossover always produce valid orders;
+* ``n - 1`` commute bits — whether the newly added table becomes the outer or
+  the inner operand of its join;
+* ``n`` scan-operator genes and ``n - 1`` join-operator genes — interpreted
+  modulo the number of applicable operators at decode time.
+
+Chromosomes decode into left-deep-style plans (the composite built so far is
+joined with the next table), the plan space the ordinal encoding was designed
+for.  One :meth:`step` runs one NSGA-II generation: binary tournament
+selection, single-point crossover, per-gene mutation, and elitist
+environmental selection by non-dominated rank and crowding distance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.interface import AnytimeOptimizer
+from repro.cost.model import MultiObjectiveCostModel
+from repro.pareto.dominance import strictly_dominates
+from repro.pareto.frontier import ParetoFrontier
+from repro.plans.plan import Plan
+
+Genome = Tuple[int, ...]
+
+
+@dataclass
+class Individual:
+    """A genome together with its decoded plan and cost vector."""
+
+    genome: Genome
+    plan: Plan
+    rank: int = 0
+    crowding: float = 0.0
+
+    @property
+    def cost(self) -> Tuple[float, ...]:
+        """Cost vector of the decoded plan."""
+        return self.plan.cost
+
+
+class NSGA2Optimizer(AnytimeOptimizer):
+    """NSGA-II over the ordinal plan encoding.
+
+    Parameters
+    ----------
+    cost_model:
+        Cost model / plan factory for the query.
+    rng:
+        Source of randomness.
+    population_size:
+        Number of individuals (the paper uses 200; tests use smaller values).
+    crossover_probability:
+        Probability of applying single-point crossover to a selected pair.
+    mutation_probability:
+        Per-gene mutation probability; defaults to ``1 / genome length``.
+    """
+
+    name = "NSGA-II"
+
+    def __init__(
+        self,
+        cost_model: MultiObjectiveCostModel,
+        rng: random.Random | None = None,
+        population_size: int = 200,
+        crossover_probability: float = 0.9,
+        mutation_probability: float | None = None,
+    ) -> None:
+        super().__init__(cost_model)
+        if population_size < 2:
+            raise ValueError("population size must be at least 2")
+        if not 0 <= crossover_probability <= 1:
+            raise ValueError("crossover probability must be in [0, 1]")
+        self._rng = rng if rng is not None else random.Random()
+        self._population_size = population_size
+        self._crossover_probability = crossover_probability
+        num_tables = cost_model.query.num_tables
+        # Layout: n ordinal order genes, n-1 commute bits, n scan-operator
+        # genes, n-1 join-operator genes.
+        self._genome_length = 2 * num_tables + 2 * max(0, num_tables - 1)
+        self._mutation_probability = (
+            mutation_probability
+            if mutation_probability is not None
+            else 1.0 / max(1, self._genome_length)
+        )
+        self._population: List[Individual] = []
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def population(self) -> List[Individual]:
+        """The current population (empty before the first step)."""
+        return list(self._population)
+
+    @property
+    def population_size(self) -> int:
+        """Configured population size."""
+        return self._population_size
+
+    # ------------------------------------------------------------- protocol
+    def step(self) -> None:
+        """Run one NSGA-II generation (the first step initializes the population)."""
+        if not self._population:
+            self._population = [
+                self._make_individual(self._random_genome())
+                for _ in range(self._population_size)
+            ]
+            self._assign_ranks_and_crowding(self._population)
+        else:
+            offspring = self._make_offspring()
+            combined = self._population + offspring
+            self._population = self._environmental_selection(combined)
+        self.statistics.steps += 1
+
+    def frontier(self) -> List[Plan]:
+        """Plans of the first non-dominated front of the current population."""
+        if not self._population:
+            return []
+        front = [ind for ind in self._population if ind.rank == 0]
+        unique: ParetoFrontier[Plan] = ParetoFrontier(cost_of=lambda plan: plan.cost)
+        unique.insert_all(ind.plan for ind in front)
+        return unique.items()
+
+    # -------------------------------------------------------------- encoding
+    def _random_genome(self) -> Genome:
+        num_tables = self.query.num_tables
+        genes: List[int] = []
+        for i in range(num_tables):
+            genes.append(self._rng.randrange(num_tables - i))
+        for _ in range(max(0, num_tables - 1)):
+            genes.append(self._rng.randrange(2))
+        for _ in range(num_tables):
+            genes.append(self._rng.randrange(1024))
+        for _ in range(max(0, num_tables - 1)):
+            genes.append(self._rng.randrange(1024))
+        return tuple(genes)
+
+    def _gene_range(self, position: int) -> int:
+        """Exclusive upper bound of the gene value at ``position``."""
+        num_tables = self.query.num_tables
+        if position < num_tables:
+            return num_tables - position
+        if position < num_tables + max(0, num_tables - 1):
+            return 2
+        return 1024
+
+    def decode(self, genome: Genome) -> Plan:
+        """Decode a genome into a plan (public for tests and analysis)."""
+        num_tables = self.query.num_tables
+        order_genes = genome[:num_tables]
+        commute_genes = genome[num_tables : num_tables + max(0, num_tables - 1)]
+        scan_genes = genome[
+            num_tables + max(0, num_tables - 1) : 2 * num_tables + max(0, num_tables - 1)
+        ]
+        join_genes = genome[2 * num_tables + max(0, num_tables - 1) :]
+
+        remaining = list(range(num_tables))
+        order: List[int] = []
+        for gene in order_genes:
+            order.append(remaining.pop(gene % len(remaining)))
+
+        factory = self.cost_model
+        scan_ops = factory.scan_operators(order[0])
+        plan: Plan = factory.make_scan(order[0], scan_ops[scan_genes[0] % len(scan_ops)])
+        for position, table_index in enumerate(order[1:], start=1):
+            scan_ops = factory.scan_operators(table_index)
+            scan = factory.make_scan(
+                table_index, scan_ops[scan_genes[position] % len(scan_ops)]
+            )
+            if commute_genes[position - 1] % 2 == 0:
+                outer, inner = plan, scan
+            else:
+                outer, inner = scan, plan
+            join_ops = factory.join_operators(outer, inner)
+            operator = join_ops[join_genes[position - 1] % len(join_ops)]
+            plan = factory.make_join(outer, inner, operator)
+        return plan
+
+    def _make_individual(self, genome: Genome) -> Individual:
+        plan = self.decode(genome)
+        self.statistics.plans_built += plan.num_nodes
+        return Individual(genome=genome, plan=plan)
+
+    # ------------------------------------------------------------ variation
+    def _make_offspring(self) -> List[Individual]:
+        offspring: List[Individual] = []
+        while len(offspring) < self._population_size:
+            parent_a = self._tournament()
+            parent_b = self._tournament()
+            child_a, child_b = self._crossover(parent_a.genome, parent_b.genome)
+            offspring.append(self._make_individual(self._mutate(child_a)))
+            if len(offspring) < self._population_size:
+                offspring.append(self._make_individual(self._mutate(child_b)))
+        return offspring
+
+    def _tournament(self) -> Individual:
+        first = self._rng.choice(self._population)
+        second = self._rng.choice(self._population)
+        return first if self._crowded_better(first, second) else second
+
+    @staticmethod
+    def _crowded_better(first: Individual, second: Individual) -> bool:
+        if first.rank != second.rank:
+            return first.rank < second.rank
+        return first.crowding > second.crowding
+
+    def _crossover(self, first: Genome, second: Genome) -> Tuple[Genome, Genome]:
+        if self._rng.random() > self._crossover_probability or len(first) < 2:
+            return first, second
+        point = self._rng.randrange(1, len(first))
+        child_a = first[:point] + second[point:]
+        child_b = second[:point] + first[point:]
+        return child_a, child_b
+
+    def _mutate(self, genome: Genome) -> Genome:
+        genes = list(genome)
+        for position in range(len(genes)):
+            if self._rng.random() < self._mutation_probability:
+                genes[position] = self._rng.randrange(self._gene_range(position))
+        return tuple(genes)
+
+    # ------------------------------------------------- environmental selection
+    def _environmental_selection(self, combined: List[Individual]) -> List[Individual]:
+        fronts = self._fast_non_dominated_sort(combined)
+        next_population: List[Individual] = []
+        for front in fronts:
+            self._assign_crowding(front)
+            if len(next_population) + len(front) <= self._population_size:
+                next_population.extend(front)
+            else:
+                remaining = self._population_size - len(next_population)
+                front.sort(key=lambda ind: ind.crowding, reverse=True)
+                next_population.extend(front[:remaining])
+                break
+        return next_population
+
+    def _assign_ranks_and_crowding(self, population: List[Individual]) -> None:
+        for front in self._fast_non_dominated_sort(population):
+            self._assign_crowding(front)
+
+    @staticmethod
+    def _fast_non_dominated_sort(
+        population: List[Individual],
+    ) -> List[List[Individual]]:
+        dominated_by: Dict[int, List[int]] = {i: [] for i in range(len(population))}
+        domination_count = [0] * len(population)
+        fronts: List[List[int]] = [[]]
+        for i, first in enumerate(population):
+            for j, second in enumerate(population):
+                if i == j:
+                    continue
+                if strictly_dominates(first.cost, second.cost):
+                    dominated_by[i].append(j)
+                elif strictly_dominates(second.cost, first.cost):
+                    domination_count[i] += 1
+            if domination_count[i] == 0:
+                population[i].rank = 0
+                fronts[0].append(i)
+        current = 0
+        while fronts[current]:
+            next_front: List[int] = []
+            for i in fronts[current]:
+                for j in dominated_by[i]:
+                    domination_count[j] -= 1
+                    if domination_count[j] == 0:
+                        population[j].rank = current + 1
+                        next_front.append(j)
+            current += 1
+            fronts.append(next_front)
+        return [[population[i] for i in front] for front in fronts if front]
+
+    @staticmethod
+    def _assign_crowding(front: List[Individual]) -> None:
+        if not front:
+            return
+        for individual in front:
+            individual.crowding = 0.0
+        num_metrics = len(front[0].cost)
+        for metric in range(num_metrics):
+            front.sort(key=lambda ind: ind.cost[metric])
+            front[0].crowding = float("inf")
+            front[-1].crowding = float("inf")
+            span = front[-1].cost[metric] - front[0].cost[metric]
+            if span <= 0:
+                continue
+            for position in range(1, len(front) - 1):
+                gap = front[position + 1].cost[metric] - front[position - 1].cost[metric]
+                front[position].crowding += gap / span

@@ -1,0 +1,51 @@
+"""Pure random plan sampling (sanity baseline, not in the paper's plots).
+
+Sampling random plans and keeping the non-dominated ones is the weakest
+conceivable randomized baseline; it lower-bounds what any local-search based
+algorithm should achieve and is useful in tests (every other algorithm should
+beat it given the same plan budget).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.interface import AnytimeOptimizer
+from repro.core.random_plans import RandomPlanGenerator
+from repro.cost.model import MultiObjectiveCostModel
+from repro.pareto.frontier import ParetoFrontier
+from repro.plans.plan import Plan
+
+
+class RandomSamplingOptimizer(AnytimeOptimizer):
+    """Keeps the non-dominated subset of independently sampled random plans."""
+
+    name = "RandomSampling"
+
+    def __init__(
+        self,
+        cost_model: MultiObjectiveCostModel,
+        rng: random.Random | None = None,
+        plans_per_step: int = 10,
+    ) -> None:
+        super().__init__(cost_model)
+        if plans_per_step < 1:
+            raise ValueError("plans_per_step must be positive")
+        self._generator = RandomPlanGenerator(
+            cost_model, rng if rng is not None else random.Random()
+        )
+        self._plans_per_step = plans_per_step
+        self._archive: ParetoFrontier[Plan] = ParetoFrontier(cost_of=lambda plan: plan.cost)
+
+    def step(self) -> None:
+        """Sample a batch of random plans and archive the non-dominated ones."""
+        for _ in range(self._plans_per_step):
+            plan = self._generator.random_bushy_plan()
+            self.statistics.plans_built += plan.num_nodes
+            self._archive.insert(plan)
+        self.statistics.steps += 1
+
+    def frontier(self) -> List[Plan]:
+        """Non-dominated set of all sampled plans."""
+        return self._archive.items()

@@ -1,0 +1,53 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 6).
+
+The harness is organised as follows:
+
+``scenario``
+    :class:`ScenarioSpec` describes one experiment grid (join-graph shapes ×
+    query sizes × algorithms, selectivity model, number of metrics, budgets).
+``anytime``
+    Drives one optimizer on one test case and snapshots its frontier at
+    checkpoints, producing the error-versus-time series of the figures.
+``reference``
+    Builds the reference Pareto frontier each algorithm is judged against
+    (union of all algorithms' results, or a DP(1.01) frontier for the precise
+    small-query experiments).
+``runner``
+    Runs a full scenario and aggregates per-cell medians.
+``reporting``
+    Formats scenario results as text tables mirroring the paper's figures.
+``figures``
+    One spec constructor per paper figure plus the ablation experiments
+    listed in DESIGN.md.
+``statistics``
+    Climb-path-length and Pareto-set-size statistics (Figure 3).
+"""
+
+from repro.bench.scenario import ScenarioScale, ScenarioSpec
+from repro.bench.anytime import CheckpointRecord, evaluate_anytime, evaluate_steps
+from repro.bench.reference import (
+    dp_reference_frontier,
+    union_reference_frontier,
+)
+from repro.bench.runner import CellResult, ScenarioResult, run_scenario
+from repro.bench.reporting import format_scenario_report, summarize_winners
+from repro.bench.statistics import Figure3Result, run_figure3_statistics
+from repro.bench import figures
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioScale",
+    "CheckpointRecord",
+    "evaluate_anytime",
+    "evaluate_steps",
+    "union_reference_frontier",
+    "dp_reference_frontier",
+    "CellResult",
+    "ScenarioResult",
+    "run_scenario",
+    "format_scenario_report",
+    "summarize_winners",
+    "Figure3Result",
+    "run_figure3_statistics",
+    "figures",
+]

@@ -1,0 +1,134 @@
+"""Anytime evaluation of a single optimizer on a single test case.
+
+The paper "measures the approximation quality in regular intervals during
+optimization to compare algorithms in different time intervals"
+(Section 6.1).  :func:`evaluate_anytime` drives an optimizer's ``step()``
+loop under a wall-clock budget and records the frontier (as cost vectors) at
+each checkpoint time; :func:`evaluate_steps` is the deterministic,
+step-count-based variant used in tests and in iteration-budget experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.interface import AnytimeOptimizer
+from repro.utils.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """Frontier snapshot taken at one checkpoint.
+
+    Attributes
+    ----------
+    checkpoint:
+        The nominal checkpoint (seconds for time-based runs, step count for
+        step-based runs).
+    elapsed:
+        Wall-clock seconds actually elapsed when the snapshot was taken.
+    steps:
+        Number of optimizer steps completed at snapshot time.
+    frontier_costs:
+        Cost vectors of the optimizer's frontier at snapshot time.
+    """
+
+    checkpoint: float
+    elapsed: float
+    steps: int
+    frontier_costs: Tuple[Tuple[float, ...], ...]
+
+    @property
+    def frontier_size(self) -> int:
+        """Number of plans in the snapshot."""
+        return len(self.frontier_costs)
+
+
+def _snapshot(
+    optimizer: AnytimeOptimizer, checkpoint: float, elapsed: float
+) -> CheckpointRecord:
+    costs = tuple(tuple(plan.cost) for plan in optimizer.frontier())
+    return CheckpointRecord(
+        checkpoint=checkpoint,
+        elapsed=elapsed,
+        steps=optimizer.statistics.steps,
+        frontier_costs=costs,
+    )
+
+
+def evaluate_anytime(
+    optimizer: AnytimeOptimizer,
+    checkpoints: Sequence[float],
+    time_budget: float | None = None,
+) -> List[CheckpointRecord]:
+    """Run an optimizer under a wall-clock budget, snapshotting at checkpoints.
+
+    Parameters
+    ----------
+    optimizer:
+        The optimizer to drive; it is stepped in place.
+    checkpoints:
+        Sorted checkpoint times in seconds.  A snapshot is taken as soon as a
+        step finishes past each checkpoint (or when the run ends, whichever
+        comes first).
+    time_budget:
+        Total budget in seconds; defaults to the last checkpoint.
+
+    Returns
+    -------
+    list of CheckpointRecord
+        One record per checkpoint, in order.
+    """
+    ordered = list(checkpoints)
+    if not ordered:
+        raise ValueError("need at least one checkpoint")
+    if sorted(ordered) != ordered:
+        raise ValueError("checkpoints must be sorted ascending")
+    budget = time_budget if time_budget is not None else ordered[-1]
+    watch = Stopwatch()
+    records: List[CheckpointRecord] = []
+    next_index = 0
+    while True:
+        elapsed = watch.elapsed
+        while next_index < len(ordered) and elapsed >= ordered[next_index]:
+            records.append(_snapshot(optimizer, ordered[next_index], elapsed))
+            next_index += 1
+        if elapsed >= budget or optimizer.finished or next_index >= len(ordered):
+            break
+        optimizer.step()
+    final_elapsed = watch.elapsed
+    while next_index < len(ordered):
+        records.append(_snapshot(optimizer, ordered[next_index], final_elapsed))
+        next_index += 1
+    return records
+
+
+def evaluate_steps(
+    optimizer: AnytimeOptimizer,
+    step_checkpoints: Sequence[int],
+) -> List[CheckpointRecord]:
+    """Deterministic variant of :func:`evaluate_anytime` with step-count budgets.
+
+    Parameters
+    ----------
+    optimizer:
+        The optimizer to drive.
+    step_checkpoints:
+        Sorted step counts at which the frontier is snapshotted; the run ends
+        after the last checkpoint (or earlier if the optimizer finishes).
+    """
+    ordered = list(step_checkpoints)
+    if not ordered:
+        raise ValueError("need at least one checkpoint")
+    if sorted(ordered) != ordered or any(c < 0 for c in ordered):
+        raise ValueError("step checkpoints must be non-negative and sorted ascending")
+    watch = Stopwatch()
+    records: List[CheckpointRecord] = []
+    steps_done = 0
+    for checkpoint in ordered:
+        while steps_done < checkpoint and not optimizer.finished:
+            optimizer.step()
+            steps_done += 1
+        records.append(_snapshot(optimizer, float(checkpoint), watch.elapsed))
+    return records

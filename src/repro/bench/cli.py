@@ -1,0 +1,85 @@
+"""Command-line entry point for running benchmark scenarios.
+
+Usage::
+
+    python -m repro.bench.cli figure1 --scale smoke
+    python -m repro.bench.cli figure3 --scale default
+    python -m repro.bench.cli ablation_rmq --scale smoke --seed 7
+
+Prints the same text report as the pytest benchmark targets; useful when
+iterating on one figure without the pytest-benchmark machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Sequence
+
+from repro.bench import figures
+from repro.bench.reporting import format_scenario_report, summarize_winners
+from repro.bench.runner import run_scenario
+from repro.bench.scenario import ScenarioScale
+from repro.bench.statistics import run_figure3_statistics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the benchmark CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli",
+        description="Regenerate one figure of the paper's evaluation.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(figures.FIGURE_SPECS) + ["figure3"],
+        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ScenarioScale],
+        default=ScenarioScale.DEFAULT.value,
+        help="experiment scale (smoke = seconds, default = minutes, paper = hours)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario base seed"
+    )
+    return parser
+
+
+def run(argv: Sequence[str] | None = None) -> str:
+    """Run the selected figure and return its text report."""
+    args = build_parser().parse_args(argv)
+    scale = ScenarioScale(args.scale)
+
+    if args.figure == "figure3":
+        if scale is ScenarioScale.PAPER:
+            table_counts, cases, iterations = (10, 25, 50, 75, 100), 20, 20
+        elif scale is ScenarioScale.DEFAULT:
+            table_counts, cases, iterations = (10, 25, 50), 3, 8
+        else:
+            table_counts, cases, iterations = (6, 10, 15), 2, 4
+        kwargs = dict(
+            table_counts=table_counts,
+            num_test_cases=cases,
+            iterations_per_case=iterations,
+        )
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        return run_figure3_statistics(**kwargs).format_report()
+
+    spec = figures.FIGURE_SPECS[args.figure](scale)
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    result = run_scenario(spec)
+    return format_scenario_report(result) + "\n" + summarize_winners(result)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    print(run(argv))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

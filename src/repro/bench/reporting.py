@@ -1,0 +1,68 @@
+"""Text reports for scenario results.
+
+The paper presents its results as α-versus-time plots with one line per
+algorithm and one panel per (join-graph shape, query size) cell.  The text
+report prints the same series: one block per cell, one row per algorithm,
+one column per checkpoint, values being the median approximation error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.runner import ScenarioResult
+
+
+def _format_error(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if value >= 1e4:
+        return f"{value:.2e}"
+    return f"{value:.3f}"
+
+
+def format_scenario_report(result: ScenarioResult) -> str:
+    """Render a scenario result as a human-readable text table."""
+    spec = result.spec
+    lines: List[str] = []
+    lines.append(f"Scenario: {spec.name} — {spec.description}")
+    lines.append(
+        f"metrics={spec.num_metrics}  selectivity={spec.selectivity_model}  "
+        f"test cases={spec.num_test_cases}  budget={spec.time_budget:g}s  scale={spec.scale}"
+    )
+    lines.append("")
+    checkpoint_header = "  ".join(f"t={t:g}s" for t in spec.checkpoints)
+    for shape in spec.graph_shapes:
+        for num_tables in spec.table_counts:
+            lines.append(f"--- {str(shape).capitalize()}, {num_tables} tables ---")
+            lines.append(f"{'algorithm':<14} {checkpoint_header}")
+            for algorithm in spec.algorithms:
+                cell = result.cell(shape, num_tables, algorithm)
+                errors = "  ".join(_format_error(value) for value in cell.median_errors)
+                lines.append(f"{algorithm:<14} {errors}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def summarize_winners(result: ScenarioResult) -> str:
+    """Per-cell winner summary: which algorithm has the lowest final error."""
+    lines: List[str] = [f"Winners per cell for scenario {result.spec.name}:"]
+    win_counts: Dict[str, int] = {name: 0 for name in result.spec.algorithms}
+    for shape in result.spec.graph_shapes:
+        for num_tables in result.spec.table_counts:
+            best_algorithm = None
+            best_error = float("inf")
+            for algorithm in result.spec.algorithms:
+                cell = result.cell(shape, num_tables, algorithm)
+                if cell.final_error < best_error:
+                    best_error = cell.final_error
+                    best_algorithm = algorithm
+            if best_algorithm is None:
+                continue
+            win_counts[best_algorithm] += 1
+            lines.append(
+                f"  {str(shape):<6} {num_tables:>4} tables: {best_algorithm} "
+                f"(final error {_format_error(best_error)})"
+            )
+    lines.append("Win counts: " + ", ".join(f"{k}={v}" for k, v in win_counts.items()))
+    return "\n".join(lines)

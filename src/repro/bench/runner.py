@@ -1,0 +1,244 @@
+"""Scenario runner: executes a full experiment grid and aggregates medians.
+
+For every grid cell (join-graph shape × query size) the runner generates
+``num_test_cases`` random queries, runs every algorithm of the scenario on
+each query under the scenario's time budget, snapshots frontiers at the
+checkpoints, builds the per-test-case reference frontier, computes the
+approximation error of every snapshot against that reference, and finally
+reports the median error per (cell, algorithm, checkpoint) — the quantity the
+paper plots.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics as stats
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines import make_optimizer
+from repro.baselines.nsga2 import NSGA2Optimizer
+from repro.bench.anytime import CheckpointRecord, evaluate_anytime
+from repro.bench.reference import dp_reference_frontier, union_reference_frontier
+from repro.bench.scenario import ScenarioScale, ScenarioSpec
+from repro.core.frontier import AlphaSchedule
+from repro.core.interface import AnytimeOptimizer
+from repro.core.rmq import RMQOptimizer
+from repro.cost.model import MultiObjectiveCostModel, sample_metric_names
+from repro.pareto.epsilon import approximation_error
+from repro.query.generator import GeneratorConfig, QueryGenerator
+from repro.query.join_graph import GraphShape
+from repro.query.query import Query
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated results of one grid cell for one algorithm.
+
+    ``median_errors[k]`` is the median (over test cases) approximation error
+    at ``checkpoints[k]``; ``median_frontier_sizes[k]`` is the corresponding
+    median number of result plans.
+    """
+
+    shape: GraphShape
+    num_tables: int
+    algorithm: str
+    checkpoints: Tuple[float, ...]
+    median_errors: Tuple[float, ...]
+    median_frontier_sizes: Tuple[float, ...]
+
+    @property
+    def final_error(self) -> float:
+        """Median error at the last checkpoint."""
+        return self.median_errors[-1]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All cell results of a scenario run."""
+
+    spec: ScenarioSpec
+    cells: Tuple[CellResult, ...]
+
+    def cell(self, shape: GraphShape, num_tables: int, algorithm: str) -> CellResult:
+        """Look up one cell result."""
+        for cell in self.cells:
+            if (
+                cell.shape is shape
+                and cell.num_tables == num_tables
+                and cell.algorithm == algorithm
+            ):
+                return cell
+        raise KeyError(f"no cell for ({shape}, {num_tables}, {algorithm})")
+
+    def algorithms(self) -> Tuple[str, ...]:
+        """Algorithms present in the result, in spec order."""
+        return self.spec.algorithms
+
+    def final_errors_by_algorithm(self) -> Dict[str, List[float]]:
+        """Final-checkpoint median errors of every cell, grouped by algorithm."""
+        grouped: Dict[str, List[float]] = {name: [] for name in self.spec.algorithms}
+        for cell in self.cells:
+            grouped[cell.algorithm].append(cell.final_error)
+        return grouped
+
+
+def build_optimizer(
+    name: str, cost_model: MultiObjectiveCostModel, rng: random.Random, spec: ScenarioSpec
+) -> AnytimeOptimizer:
+    """Build an optimizer for a scenario, applying scenario-level options.
+
+    Two scenario-level adjustments are applied: the NSGA-II population size
+    (200 in the paper, smaller at reduced scales) and, for RMQ at reduced
+    scales, the compressed α schedule documented in DESIGN.md (the paper's
+    schedule assumes iteration rates a pure-Python run cannot reach).
+    """
+    if name == "NSGA-II":
+        return NSGA2Optimizer(cost_model, rng=rng, population_size=spec.nsga_population)
+    if name == "RMQ" and spec.scale is not ScenarioScale.PAPER:
+        return RMQOptimizer(cost_model, rng=rng, schedule=AlphaSchedule.compressed())
+    return make_optimizer(name, cost_model, rng)
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run a full scenario and return aggregated per-cell medians."""
+    cells: List[CellResult] = []
+    for shape in spec.graph_shapes:
+        for num_tables in spec.table_counts:
+            cells.extend(_run_cell(spec, shape, num_tables))
+    return ScenarioResult(spec=spec, cells=tuple(cells))
+
+
+# --------------------------------------------------------------------------
+# Cell execution
+# --------------------------------------------------------------------------
+def _run_cell(
+    spec: ScenarioSpec, shape: GraphShape, num_tables: int
+) -> List[CellResult]:
+    """Run every algorithm on every test case of one grid cell."""
+    errors: Dict[str, List[List[float]]] = {name: [] for name in spec.algorithms}
+    sizes: Dict[str, List[List[float]]] = {name: [] for name in spec.algorithms}
+
+    for case_index in range(spec.num_test_cases):
+        cost_model = _build_test_case(spec, shape, num_tables, case_index)
+        case_records: Dict[str, List[CheckpointRecord]] = {}
+        for algorithm in spec.algorithms:
+            rng = derive_rng(spec.seed, "algo", algorithm, str(shape), num_tables, case_index)
+            optimizer = build_optimizer(algorithm, cost_model, rng, spec)
+            case_records[algorithm] = evaluate_anytime(
+                optimizer, spec.checkpoints, spec.time_budget
+            )
+        reference = _build_reference(spec, cost_model, case_records)
+        for algorithm in spec.algorithms:
+            error_series, size_series = _error_series(
+                case_records[algorithm], reference, spec.error_cap
+            )
+            errors[algorithm].append(error_series)
+            sizes[algorithm].append(size_series)
+
+    results: List[CellResult] = []
+    for algorithm in spec.algorithms:
+        median_errors = _median_over_cases(errors[algorithm])
+        median_sizes = _median_over_cases(sizes[algorithm])
+        results.append(
+            CellResult(
+                shape=shape,
+                num_tables=num_tables,
+                algorithm=algorithm,
+                checkpoints=tuple(spec.checkpoints),
+                median_errors=tuple(median_errors),
+                median_frontier_sizes=tuple(median_sizes),
+            )
+        )
+    return results
+
+
+def _build_test_case(
+    spec: ScenarioSpec, shape: GraphShape, num_tables: int, case_index: int
+) -> MultiObjectiveCostModel:
+    """Generate the random query and cost model of one test case."""
+    query_rng = derive_rng(spec.seed, "query", str(shape), num_tables, case_index)
+    generator = QueryGenerator(
+        rng=query_rng,
+        config=GeneratorConfig(selectivity_model=spec.selectivity_model),
+    )
+    query: Query = generator.generate(
+        num_tables, shape, name=f"{shape}_{num_tables}_{case_index}"
+    )
+    metric_rng = derive_rng(spec.seed, "metrics", str(shape), num_tables, case_index)
+    metric_names = sample_metric_names(spec.num_metrics, metric_rng, spec.metric_pool)
+    return MultiObjectiveCostModel(query, metrics=metric_names)
+
+
+def _build_reference(
+    spec: ScenarioSpec,
+    cost_model: MultiObjectiveCostModel,
+    case_records: Dict[str, List[CheckpointRecord]],
+) -> List[Tuple[float, ...]]:
+    """Reference frontier for one test case.
+
+    The union of every algorithm's final snapshot is always included; when
+    the scenario names a reference algorithm (the precise small-query
+    experiments use DP(1.01)), its frontier is added to the union.
+    """
+    frontiers: List[List[Tuple[float, ...]]] = [
+        list(records[-1].frontier_costs) for records in case_records.values()
+    ]
+    if spec.reference_algorithm is not None:
+        alpha = _reference_alpha(spec.reference_algorithm)
+        reference = dp_reference_frontier(
+            cost_model, alpha=alpha, time_budget=spec.reference_time_budget
+        )
+        if reference:
+            frontiers.append(reference)
+    return union_reference_frontier(frontiers)
+
+
+def _reference_alpha(reference_algorithm: str) -> float:
+    """Extract the α value from a reference-algorithm name such as ``DP(1.01)``."""
+    if reference_algorithm.startswith("DP(") and reference_algorithm.endswith(")"):
+        inner = reference_algorithm[3:-1]
+        if inner.lower() == "infinity":
+            return float("inf")
+        return float(inner)
+    raise ValueError(
+        f"unsupported reference algorithm {reference_algorithm!r}; expected 'DP(<alpha>)'"
+    )
+
+
+def _error_series(
+    records: Sequence[CheckpointRecord],
+    reference: Sequence[Tuple[float, ...]],
+    error_cap: float | None,
+) -> Tuple[List[float], List[float]]:
+    """Approximation error and frontier size at every checkpoint."""
+    errors: List[float] = []
+    sizes: List[float] = []
+    for record in records:
+        error = approximation_error(record.frontier_costs, reference)
+        if error_cap is not None and error > error_cap:
+            error = error_cap
+        errors.append(error)
+        sizes.append(float(record.frontier_size))
+    return errors, sizes
+
+
+def _median_over_cases(series_per_case: List[List[float]]) -> List[float]:
+    """Per-checkpoint median over test cases (cases are rows, checkpoints columns)."""
+    if not series_per_case:
+        return []
+    num_checkpoints = len(series_per_case[0])
+    medians = []
+    for checkpoint_index in range(num_checkpoints):
+        values = [series[checkpoint_index] for series in series_per_case]
+        finite = [value for value in values if value != float("inf")]
+        if not finite:
+            medians.append(float("inf"))
+        elif len(finite) < len(values):
+            # Mixed finite/infinite: the median of the raw values is still
+            # well defined because inf sorts last.
+            medians.append(stats.median(values))
+        else:
+            medians.append(stats.median(values))
+    return medians

@@ -1,0 +1,150 @@
+"""Scenario specifications.
+
+A :class:`ScenarioSpec` captures every parameter of one experiment grid in
+the paper's evaluation: which join-graph shapes and query sizes to cover, how
+many cost metrics to select, which selectivity model to use when generating
+queries, which algorithms to compare, how many random test cases to aggregate
+over, and the per-algorithm time budget with its checkpoints.
+
+Because the paper's exact settings (20 test cases, 3–30 s budgets, up to 100
+tables) take hours in pure Python, each figure spec exists at three scales:
+
+* ``SMOKE`` — seconds-level runs used by the pytest benchmarks,
+* ``DEFAULT`` — minutes-level runs producing readable trends,
+* ``PAPER`` — the paper's grid (run it when you have the time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Tuple
+
+from repro.cost.metrics import PAPER_METRICS
+from repro.query.generator import SelectivityModel
+from repro.query.join_graph import GraphShape
+
+
+class ScenarioScale(str, Enum):
+    """Size of a scenario run (see module docstring)."""
+
+    SMOKE = "smoke"
+    DEFAULT = "default"
+    PAPER = "paper"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Full description of one benchmark scenario.
+
+    Attributes
+    ----------
+    name / description:
+        Identification used in reports (e.g. ``"figure1"``).
+    graph_shapes / table_counts:
+        The grid of query workloads.
+    num_metrics:
+        Number of cost metrics per test case; metrics are sampled uniformly
+        from ``metric_pool`` when fewer than the pool size (Section 6.1).
+    metric_pool:
+        Metrics to sample from (defaults to the paper's time/buffer/disk).
+    selectivity_model:
+        Steinbrunn (main experiments) or MinMax (appendix experiments).
+    algorithms:
+        Report names of the algorithms to compare (see
+        :func:`repro.baselines.make_optimizer`).
+    num_test_cases:
+        Number of random queries per grid cell; medians are reported.
+    time_budget / checkpoints:
+        Per-algorithm wall-clock budget in seconds and the times at which the
+        frontier is snapshotted.
+    reference_algorithm / reference_time_budget:
+        Optional extra algorithm (typically ``"DP(1.01)"``) run only to build
+        the reference frontier, as in the precise small-query experiments.
+    error_cap:
+        Optional cap applied to reported approximation errors (Figures 6 and
+        7 cap the plotted domain at 1e10).
+    nsga_population:
+        NSGA-II population size (200 in the paper, smaller at reduced scales).
+    seed:
+        Base seed; all randomness of the scenario derives from it.
+    """
+
+    name: str
+    description: str
+    graph_shapes: Tuple[GraphShape, ...]
+    table_counts: Tuple[int, ...]
+    num_metrics: int
+    algorithms: Tuple[str, ...]
+    num_test_cases: int = 3
+    selectivity_model: SelectivityModel = SelectivityModel.STEINBRUNN
+    metric_pool: Tuple[str, ...] = PAPER_METRICS
+    time_budget: float = 1.0
+    checkpoints: Tuple[float, ...] = (0.25, 0.5, 1.0)
+    reference_algorithm: str | None = None
+    reference_time_budget: float | None = None
+    error_cap: float | None = None
+    nsga_population: int = 50
+    seed: int = 20160626
+    scale: ScenarioScale = ScenarioScale.DEFAULT
+    extra: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.graph_shapes:
+            raise ValueError("scenario needs at least one graph shape")
+        if not self.table_counts:
+            raise ValueError("scenario needs at least one table count")
+        if any(count < 2 for count in self.table_counts):
+            raise ValueError("table counts must be at least 2")
+        if not 1 <= self.num_metrics <= len(self.metric_pool):
+            raise ValueError(
+                f"num_metrics must be between 1 and {len(self.metric_pool)}"
+            )
+        if not self.algorithms:
+            raise ValueError("scenario needs at least one algorithm")
+        if self.num_test_cases < 1:
+            raise ValueError("need at least one test case")
+        if self.time_budget <= 0:
+            raise ValueError("time budget must be positive")
+        if not self.checkpoints:
+            raise ValueError("need at least one checkpoint")
+        if any(t <= 0 for t in self.checkpoints):
+            raise ValueError("checkpoints must be positive times")
+        if tuple(sorted(self.checkpoints)) != tuple(self.checkpoints):
+            raise ValueError("checkpoints must be sorted ascending")
+        if self.error_cap is not None and self.error_cap < 1.0:
+            raise ValueError("error cap must be at least 1")
+
+    # ------------------------------------------------------------ utilities
+    @property
+    def num_cells(self) -> int:
+        """Number of (shape, table count) grid cells."""
+        return len(self.graph_shapes) * len(self.table_counts)
+
+    def with_scale_overrides(
+        self,
+        table_counts: Tuple[int, ...] | None = None,
+        num_test_cases: int | None = None,
+        time_budget: float | None = None,
+        checkpoints: Tuple[float, ...] | None = None,
+        nsga_population: int | None = None,
+        scale: ScenarioScale | None = None,
+    ) -> "ScenarioSpec":
+        """Return a copy with selected fields replaced (used by figure specs)."""
+        updates = {}
+        if table_counts is not None:
+            updates["table_counts"] = table_counts
+        if num_test_cases is not None:
+            updates["num_test_cases"] = num_test_cases
+        if time_budget is not None:
+            updates["time_budget"] = time_budget
+        if checkpoints is not None:
+            updates["checkpoints"] = checkpoints
+        if nsga_population is not None:
+            updates["nsga_population"] = nsga_population
+        if scale is not None:
+            updates["scale"] = scale
+        return replace(self, **updates)

@@ -1,0 +1,104 @@
+"""Statistics experiments of Figure 3.
+
+Figure 3 of the paper reports, for three cost metrics and varying query
+sizes and join-graph shapes,
+
+* (left) the median path length from a random plan to the nearest local
+  Pareto optimum reached by ``ParetoClimb``, and
+* (right) the median number of Pareto plans found by RMQ.
+
+:func:`run_figure3_statistics` reproduces both statistics.  Path lengths are
+expected to grow slowly (roughly linearly with a very small slope) with the
+number of tables (Theorem 2), while the number of Pareto plans grows with
+the query size.
+"""
+
+from __future__ import annotations
+
+import statistics as stats
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.rmq import RMQOptimizer
+from repro.cost.model import MultiObjectiveCostModel
+from repro.query.generator import GeneratorConfig, QueryGenerator
+from repro.query.join_graph import GraphShape
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Median climb path length and Pareto-set size per (shape, query size)."""
+
+    shapes: Tuple[GraphShape, ...]
+    table_counts: Tuple[int, ...]
+    median_path_length: Dict[Tuple[GraphShape, int], float]
+    median_pareto_plans: Dict[Tuple[GraphShape, int], float]
+
+    def format_report(self) -> str:
+        """Human-readable table mirroring the two panels of Figure 3."""
+        lines = ["Figure 3 statistics (3 cost metrics):"]
+        lines.append(f"{'shape':<8}{'tables':>8}{'path length':>14}{'#Pareto plans':>16}")
+        for shape in self.shapes:
+            for count in self.table_counts:
+                key = (shape, count)
+                lines.append(
+                    f"{str(shape):<8}{count:>8}"
+                    f"{self.median_path_length[key]:>14.2f}"
+                    f"{self.median_pareto_plans[key]:>16.1f}"
+                )
+        return "\n".join(lines)
+
+
+def run_figure3_statistics(
+    shapes: Tuple[GraphShape, ...] = (GraphShape.CHAIN, GraphShape.STAR, GraphShape.CYCLE),
+    table_counts: Tuple[int, ...] = (10, 25, 50, 75, 100),
+    num_test_cases: int = 5,
+    iterations_per_case: int = 10,
+    metrics: Tuple[str, ...] = ("time", "buffer", "disk"),
+    seed: int = 20160626,
+) -> Figure3Result:
+    """Measure climb path lengths and RMQ Pareto-set sizes.
+
+    Parameters
+    ----------
+    shapes / table_counts:
+        The grid of workloads (the paper's grid by default).
+    num_test_cases:
+        Random queries per grid cell; medians are reported.
+    iterations_per_case:
+        RMQ iterations per test case (each iteration contributes one climb
+        path length; the Pareto-set size is taken after the last iteration).
+    metrics:
+        Cost metrics (the paper uses all three for this figure).
+    seed:
+        Base seed for reproducibility.
+    """
+    median_paths: Dict[Tuple[GraphShape, int], float] = {}
+    median_plans: Dict[Tuple[GraphShape, int], float] = {}
+    for shape in shapes:
+        for num_tables in table_counts:
+            path_lengths: List[float] = []
+            pareto_sizes: List[float] = []
+            for case_index in range(num_test_cases):
+                rng = derive_rng(seed, "fig3-query", str(shape), num_tables, case_index)
+                generator = QueryGenerator(rng=rng, config=GeneratorConfig())
+                query = generator.generate(num_tables, shape)
+                cost_model = MultiObjectiveCostModel(query, metrics=metrics)
+                optimizer = RMQOptimizer(
+                    cost_model,
+                    rng=derive_rng(seed, "fig3-rmq", str(shape), num_tables, case_index),
+                )
+                for _ in range(iterations_per_case):
+                    optimizer.step()
+                path_lengths.append(stats.median(optimizer.climb_path_lengths))
+                pareto_sizes.append(float(len(optimizer.frontier())))
+            key = (shape, num_tables)
+            median_paths[key] = stats.median(path_lengths)
+            median_plans[key] = stats.median(pareto_sizes)
+    return Figure3Result(
+        shapes=tuple(shapes),
+        table_counts=tuple(table_counts),
+        median_path_length=median_paths,
+        median_pareto_plans=median_plans,
+    )

@@ -1,0 +1,119 @@
+"""Anytime optimizer interface.
+
+The paper compares "incremental optimization algorithms in terms of the α
+values that they produce after certain amounts of optimization time"
+(Section 3).  Every algorithm in this library — RMQ and all baselines —
+therefore implements the same anytime protocol:
+
+* ``step()`` performs one bounded unit of work (one RMQ iteration, one
+  NSGA-II generation, one DP subset batch, ...),
+* ``frontier()`` returns the current approximation of the Pareto plan set
+  for the full query (possibly empty if the algorithm has not produced any
+  complete plan yet, as is the case for the DP schemes before they finish),
+* ``run(...)`` drives ``step()`` under a time or iteration budget.
+
+The benchmark harness snapshots ``frontier()`` at checkpoints to produce the
+error-versus-time series shown in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cost.model import MultiObjectiveCostModel
+from repro.plans.plan import Plan
+from repro.query.query import Query
+
+
+@dataclass
+class OptimizerStatistics:
+    """Counters every optimizer maintains for reporting and tests."""
+
+    #: Number of calls to ``step()`` so far.
+    steps: int = 0
+    #: Total number of plan nodes constructed (scans + joins) so far.
+    plans_built: int = 0
+    #: Algorithm-specific extra counters (e.g. climb path lengths for RMQ).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class AnytimeOptimizer(ABC):
+    """Base class of all multi-objective query optimization algorithms."""
+
+    #: Short algorithm name used in benchmark reports (e.g. ``"RMQ"``).
+    name: str = "abstract"
+
+    def __init__(self, cost_model: MultiObjectiveCostModel) -> None:
+        self._cost_model = cost_model
+        self._statistics = OptimizerStatistics()
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def cost_model(self) -> MultiObjectiveCostModel:
+        """The cost model (and plan factory) the optimizer builds plans with."""
+        return self._cost_model
+
+    @property
+    def query(self) -> Query:
+        """The query being optimized."""
+        return self._cost_model.query
+
+    @property
+    def statistics(self) -> OptimizerStatistics:
+        """Work counters accumulated so far."""
+        return self._statistics
+
+    # ------------------------------------------------------------- protocol
+    @abstractmethod
+    def step(self) -> None:
+        """Perform one bounded unit of optimization work."""
+
+    @abstractmethod
+    def frontier(self) -> List[Plan]:
+        """Current approximation of the Pareto plan set for the full query."""
+
+    @property
+    def finished(self) -> bool:
+        """Whether additional ``step()`` calls can still improve the result.
+
+        Randomized algorithms never finish (they keep refining); exhaustive
+        algorithms such as the DP schemes report completion so that drivers
+        can stop early.
+        """
+        return False
+
+    # --------------------------------------------------------------- driver
+    def run(
+        self,
+        time_budget: float | None = None,
+        max_steps: int | None = None,
+    ) -> List[Plan]:
+        """Run ``step()`` until a budget is exhausted and return the frontier.
+
+        Parameters
+        ----------
+        time_budget:
+            Wall-clock budget in seconds (checked between steps).
+        max_steps:
+            Maximum number of ``step()`` calls.
+
+        At least one of the two budgets must be given.
+        """
+        if time_budget is None and max_steps is None:
+            raise ValueError("need a time budget and/or a step budget")
+        start = time.perf_counter()
+        steps = 0
+        while not self.finished:
+            if max_steps is not None and steps >= max_steps:
+                break
+            if time_budget is not None and time.perf_counter() - start >= time_budget:
+                break
+            self.step()
+            steps += 1
+        return self.frontier()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(query={self.query.name!r})"

@@ -1,0 +1,164 @@
+"""Fast multi-objective hill climbing (Algorithm 2 of the paper).
+
+``ParetoStep`` improves a plan by recursively improving its sub-plans and
+then applying the local transformations at the current node, so that many
+beneficial mutations in independent sub-trees are applied in a single step.
+``ParetoClimb`` repeats steps until no neighbor strictly dominates the
+current plan.
+
+Two properties of the problem are exploited, exactly as discussed in
+Section 4.2:
+
+* the multi-objective principle of optimality — sub-plan improvements never
+  worsen the whole plan, so mutations are judged by their local cost effect
+  (cost vectors are maintained bottom-up, making re-costing O(#metrics));
+* plan decomposability — mutations in independent sub-trees are applied
+  simultaneously, reducing the number of complete plans built on the path to
+  a local optimum.
+
+Plans producing different output data representations are kept separately
+during a step (the paper's ``SameOutput`` pruning), because the
+representation influences the cost and applicability of operators higher up
+in the tree.  Per representation a single non-dominated candidate is kept,
+matching the pseudo-code's intent ("keeps one Pareto plan per output
+format") and the complexity analysis (Lemma 2), which assumes each
+``ParetoStep`` instance returns one plan per format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cost.model import PlanFactory
+from repro.pareto.dominance import strictly_dominates
+from repro.plans.operators import DataFormat
+from repro.plans.plan import JoinPlan, Plan
+from repro.plans.transformations import TransformationRules
+
+
+@dataclass(frozen=True)
+class ClimbResult:
+    """Outcome of one ``ParetoClimb`` invocation.
+
+    Attributes
+    ----------
+    plan:
+        The locally Pareto-optimal plan reached by the climb.
+    path_length:
+        Number of strictly improving moves performed (the statistic shown in
+        Figure 3, left).
+    plans_built:
+        Number of plan nodes constructed during the climb (work counter).
+    """
+
+    plan: Plan
+    path_length: int
+    plans_built: int
+
+
+class ParetoClimber:
+    """Multi-objective hill climbing over the bushy plan space.
+
+    Parameters
+    ----------
+    factory:
+        Plan factory used to build mutated plans.
+    rules:
+        The local transformation rules defining the neighborhood.
+    max_steps:
+        Safety bound on the number of climbing steps (the climb always
+        terminates because every move strictly dominates its predecessor,
+        but a bound keeps worst cases predictable).
+    """
+
+    def __init__(
+        self,
+        factory: PlanFactory,
+        rules: TransformationRules | None = None,
+        max_steps: int = 10_000,
+    ) -> None:
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be positive, got {max_steps}")
+        self._factory = factory
+        self._rules = rules if rules is not None else TransformationRules()
+        self._max_steps = max_steps
+        self._plans_built = 0
+
+    # ------------------------------------------------------------ ParetoStep
+    def pareto_step(self, plan: Plan) -> Dict[DataFormat, Plan]:
+        """One parallel transformation step (function ``ParetoStep``).
+
+        Returns the best mutated plan found for each output data
+        representation.  Sub-plans are improved by recursive calls before
+        mutations are applied at this node, so a single step can change many
+        independent parts of the plan tree.
+        """
+        candidates: List[Plan]
+        if isinstance(plan, JoinPlan):
+            outer_pareto = self.pareto_step(plan.outer)
+            inner_pareto = self.pareto_step(plan.inner)
+            candidates = []
+            for outer in outer_pareto.values():
+                for inner in inner_pareto.values():
+                    rebuilt = self._rebuild(plan, outer, inner)
+                    candidates.extend(self._rules.mutations(rebuilt, self._factory))
+        else:
+            candidates = self._rules.mutations(plan, self._factory)
+        self._plans_built += len(candidates)
+        return self._prune_per_format(candidates)
+
+    # ----------------------------------------------------------- ParetoClimb
+    def climb(self, plan: Plan) -> ClimbResult:
+        """Climb from ``plan`` until no neighbor strictly dominates it."""
+        built_before = self._plans_built
+        current = plan
+        path_length = 0
+        improving = True
+        while improving and path_length < self._max_steps:
+            improving = False
+            mutations = self.pareto_step(current)
+            for mutated in mutations.values():
+                if strictly_dominates(mutated.cost, current.cost):
+                    current = mutated
+                    path_length += 1
+                    improving = True
+                    break
+        return ClimbResult(
+            plan=current,
+            path_length=path_length,
+            plans_built=self._plans_built - built_before,
+        )
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def plans_built(self) -> int:
+        """Total number of candidate plans constructed by this climber."""
+        return self._plans_built
+
+    @property
+    def rules(self) -> TransformationRules:
+        """The transformation rules defining the neighborhood."""
+        return self._rules
+
+    # ------------------------------------------------------------- internals
+    def _rebuild(self, original: JoinPlan, outer: Plan, inner: Plan) -> JoinPlan:
+        """Rebuild the original join on top of possibly improved children."""
+        if outer is original.outer and inner is original.inner:
+            return original
+        return self._rules.rebuild_join(outer, inner, original.operator, self._factory)
+
+    @staticmethod
+    def _prune_per_format(candidates: List[Plan]) -> Dict[DataFormat, Plan]:
+        """Keep one non-dominated candidate per output data representation.
+
+        When two candidates of the same representation are mutually
+        non-dominated the incumbent is kept; Section 4.2 explicitly allows
+        selecting an arbitrary non-dominated neighbor instead of branching.
+        """
+        best: Dict[DataFormat, Plan] = {}
+        for candidate in candidates:
+            incumbent = best.get(candidate.output_format)
+            if incumbent is None or strictly_dominates(candidate.cost, incumbent.cost):
+                best[candidate.output_format] = candidate
+        return best

@@ -1,0 +1,106 @@
+"""The partial-plan cache (``P`` in Algorithms 1 and 3).
+
+The cache maps every intermediate result (a set of table indices) that the
+optimizer has encountered so far to a set of non-dominated partial plans
+generating it.  Insertion follows Algorithm 3's pruning function:
+
+* a new plan is rejected if a cached plan with the same output data
+  representation α-dominates it (``SigBetter`` with the current α),
+* otherwise the new plan is inserted and every cached plan with the same
+  representation that the new plan (exactly) dominates is evicted.
+
+With α > 1 the cache therefore stores an α-approximate Pareto set per table
+set, whose size is bounded polynomially in the number of tables (Lemma 6);
+with α = 1 it stores the exact non-dominated set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.pareto.dominance import approx_dominates, dominates
+from repro.plans.plan import Plan
+
+
+class PlanCache:
+    """Cache of non-dominated partial plans per intermediate result."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[FrozenSet[int], List[Plan]] = {}
+
+    # ------------------------------------------------------------ accessors
+    def plans(self, relations: FrozenSet[int] | Iterable[int]) -> List[Plan]:
+        """Cached plans joining exactly the given table set (``P[rel]``)."""
+        key = frozenset(relations)
+        return list(self._entries.get(key, ()))
+
+    def table_sets(self) -> List[FrozenSet[int]]:
+        """All intermediate results that currently have cached plans."""
+        return list(self._entries)
+
+    def __contains__(self, relations: object) -> bool:
+        if not isinstance(relations, (frozenset, set)):
+            return False
+        return frozenset(relations) in self._entries
+
+    def __len__(self) -> int:
+        """Number of cached intermediate results."""
+        return len(self._entries)
+
+    @property
+    def total_plans(self) -> int:
+        """Total number of cached partial plans over all intermediate results."""
+        return sum(len(plans) for plans in self._entries.values())
+
+    def size_of(self, relations: FrozenSet[int] | Iterable[int]) -> int:
+        """Number of cached plans for one intermediate result."""
+        return len(self._entries.get(frozenset(relations), ()))
+
+    # -------------------------------------------------------------- updates
+    def insert(self, plan: Plan, alpha: float = 1.0) -> bool:
+        """Insert a partial plan using Algorithm 3's pruning rule.
+
+        Returns True when the plan was kept.  ``alpha`` is the approximation
+        factor of the current iteration; larger values keep the per-table-set
+        plan sets smaller.
+        """
+        if alpha < 1.0:
+            raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+        key = plan.rel
+        cached = self._entries.setdefault(key, [])
+        for existing in cached:
+            if self._sig_better(existing, plan, alpha):
+                return False
+        cached[:] = [
+            existing for existing in cached if not self._sig_better(plan, existing, 1.0)
+        ]
+        cached.append(plan)
+        return True
+
+    def insert_all(self, plans: Iterable[Plan], alpha: float = 1.0) -> int:
+        """Insert several plans; returns how many were kept."""
+        return sum(1 for plan in plans if self.insert(plan, alpha))
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------- queries
+    def frontier_costs(
+        self, relations: FrozenSet[int] | Iterable[int]
+    ) -> List[Tuple[float, ...]]:
+        """Cost vectors of the cached plans for one intermediate result."""
+        return [plan.cost for plan in self.plans(relations)]
+
+    # ------------------------------------------------------------ internals
+    @staticmethod
+    def _sig_better(first: Plan, second: Plan, alpha: float) -> bool:
+        """``SigBetter`` from Algorithm 3: same output format and α-dominant cost."""
+        if first.output_format is not second.output_format:
+            return False
+        if alpha == 1.0:
+            return dominates(first.cost, second.cost)
+        return approx_dominates(first.cost, second.cost, alpha)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlanCache(table_sets={len(self)}, total_plans={self.total_plans})"

@@ -1,0 +1,53 @@
+"""Multi-metric cost models.
+
+The paper assumes "cost models for all considered cost metrics are available"
+(Section 3) and evaluates on three metrics from its predecessor paper:
+execution time, buffer space consumption and disk space consumption
+(Section 6.1).  This package provides those three metrics plus the extension
+metrics motivated in the introduction (monetary cost for cloud execution,
+energy consumption, precision loss for approximate query processing).
+
+Every metric computes a *per-node contribution*; the total plan cost per
+metric is the sum of node contributions, computed bottom-up when plans are
+built by :class:`~repro.cost.model.PlanFactory`.  This guarantees the
+multi-objective principle of optimality that Algorithm 2 exploits: improving
+a sub-plan's cost vector can never worsen the cost vector of the full plan.
+"""
+
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.metrics import (
+    BufferMetric,
+    CostMetric,
+    DiskMetric,
+    EnergyMetric,
+    MonetaryMetric,
+    PrecisionLossMetric,
+    TimeMetric,
+    metric_by_name,
+)
+from repro.cost.model import CostModelConfig, MultiObjectiveCostModel, PlanFactory
+from repro.cost.vector import (
+    add_vectors,
+    max_ratio,
+    scale_vector,
+    validate_cost_vector,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostMetric",
+    "TimeMetric",
+    "BufferMetric",
+    "DiskMetric",
+    "EnergyMetric",
+    "MonetaryMetric",
+    "PrecisionLossMetric",
+    "metric_by_name",
+    "CostModelConfig",
+    "MultiObjectiveCostModel",
+    "PlanFactory",
+    "add_vectors",
+    "scale_vector",
+    "max_ratio",
+    "validate_cost_vector",
+]

@@ -1,0 +1,56 @@
+"""Cardinality estimation.
+
+Intermediate-result cardinalities drive every cost metric.  The estimator
+implements the textbook model also used by the paper's lineage (Steinbrunn et
+al., Trummer & Koch 2014): the output cardinality of a join is the product of
+the input cardinalities times the combined selectivity of all join predicates
+connecting the two sides (independence assumption); tables without a
+connecting predicate produce a Cartesian product.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.plans.operators import ScanOperator
+from repro.query.query import Query
+from repro.query.table import Table
+
+
+class CardinalityEstimator:
+    """Estimates output cardinalities of scans and joins for one query."""
+
+    def __init__(self, query: Query) -> None:
+        self._query = query
+
+    @property
+    def query(self) -> Query:
+        """The query whose statistics this estimator consults."""
+        return self._query
+
+    def scan_cardinality(self, table: Table, operator: ScanOperator) -> float:
+        """Output cardinality of scanning ``table`` with ``operator``.
+
+        Sampling scans produce a fraction of the table's rows; at least one
+        row is always produced so that downstream cost formulas stay positive.
+        """
+        return max(1.0, table.cardinality * operator.sampling_rate)
+
+    def join_cardinality(
+        self,
+        left_rel: FrozenSet[int],
+        right_rel: FrozenSet[int],
+        left_cardinality: float,
+        right_cardinality: float,
+    ) -> float:
+        """Output cardinality of joining two intermediate results.
+
+        Parameters
+        ----------
+        left_rel, right_rel:
+            The table sets of the two inputs; they must be disjoint.
+        left_cardinality, right_cardinality:
+            Estimated cardinalities of the two inputs.
+        """
+        selectivity = self._query.selectivity_between(left_rel, right_rel)
+        return max(1.0, left_cardinality * right_cardinality * selectivity)

@@ -1,0 +1,179 @@
+"""The multi-objective cost model / plan factory.
+
+:class:`MultiObjectiveCostModel` ties together a query, a cardinality
+estimator, an operator library and a list of cost metrics.  It is the single
+place where plans are built: ``make_scan`` and ``make_join`` compute the
+output cardinality and the cost vector of the new node from its children in
+O(#metrics) time, which realizes the constant-time sub-plan re-costing that
+Section 4.2 relies on.
+
+``PlanFactory`` is an alias kept for readability at call sites that only care
+about plan construction (the search algorithms) rather than costing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.metrics import (
+    PAPER_METRICS,
+    CostModelConfig,
+    CostMetric,
+    metric_by_name,
+)
+from repro.plans.operators import JoinOperator, OperatorLibrary, ScanOperator
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.query import Query
+
+
+class MultiObjectiveCostModel:
+    """Builds plans annotated with multi-metric cost vectors.
+
+    Parameters
+    ----------
+    query:
+        The query being optimized; provides table statistics and predicate
+        selectivities.
+    metrics:
+        The cost metrics plans are compared on, either as names (see
+        :func:`repro.cost.metrics.metric_by_name`) or metric instances.
+    library:
+        Operator library; defaults to :meth:`OperatorLibrary.default`.
+    config:
+        Shared cost-model parameters.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        metrics: Sequence[str | CostMetric] = PAPER_METRICS,
+        library: OperatorLibrary | None = None,
+        config: CostModelConfig | None = None,
+    ) -> None:
+        if not metrics:
+            raise ValueError("need at least one cost metric")
+        self._query = query
+        self._metrics: List[CostMetric] = [
+            metric if isinstance(metric, CostMetric) else metric_by_name(metric)
+            for metric in metrics
+        ]
+        self._library = library if library is not None else OperatorLibrary.default()
+        self._config = config if config is not None else CostModelConfig()
+        self._estimator = CardinalityEstimator(query)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def query(self) -> Query:
+        """The query being optimized."""
+        return self._query
+
+    @property
+    def library(self) -> OperatorLibrary:
+        """The operator library available to the optimizer."""
+        return self._library
+
+    @property
+    def config(self) -> CostModelConfig:
+        """Shared cost-model parameters."""
+        return self._config
+
+    @property
+    def metrics(self) -> Tuple[CostMetric, ...]:
+        """The cost metrics plans are compared on."""
+        return tuple(self._metrics)
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Names of the cost metrics, in cost-vector order."""
+        return tuple(metric.name for metric in self._metrics)
+
+    @property
+    def num_metrics(self) -> int:
+        """Number of cost metrics (``l`` in the paper)."""
+        return len(self._metrics)
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        """The cardinality estimator used when building plans."""
+        return self._estimator
+
+    # --------------------------------------------------------- plan building
+    def make_scan(self, table_index: int, operator: ScanOperator) -> ScanPlan:
+        """Build a scan plan for the table with the given index."""
+        table = self._query.table(table_index)
+        cardinality = self._estimator.scan_cardinality(table, operator)
+        cost = tuple(
+            metric.scan_cost(table, operator, cardinality, self._config)
+            for metric in self._metrics
+        )
+        return ScanPlan(table=table, operator=operator, cost=cost, cardinality=cardinality)
+
+    def make_join(self, outer: Plan, inner: Plan, operator: JoinOperator) -> JoinPlan:
+        """Build a join plan on top of two existing sub-plans."""
+        cardinality = self._estimator.join_cardinality(
+            outer.rel, inner.rel, outer.cardinality, inner.cardinality
+        )
+        node_cost = tuple(
+            metric.join_cost(outer, inner, operator, cardinality, self._config)
+            for metric in self._metrics
+        )
+        total_cost = tuple(
+            outer_value + inner_value + node_value
+            for outer_value, inner_value, node_value in zip(
+                outer.cost, inner.cost, node_cost
+            )
+        )
+        return JoinPlan(
+            outer=outer,
+            inner=inner,
+            operator=operator,
+            cost=total_cost,
+            cardinality=cardinality,
+        )
+
+    # ----------------------------------------------------- operator shortcuts
+    def scan_operators(self, table_index: int) -> Tuple[ScanOperator, ...]:
+        """Scan operators applicable to the given table (``ScanOps`` in Alg. 3)."""
+        return self._library.applicable_scan_operators(table_index)
+
+    def join_operators(self, outer: Plan, inner: Plan) -> Tuple[JoinOperator, ...]:
+        """Join operators applicable to the given sub-plans (``JoinOps`` in Alg. 3)."""
+        return self._library.applicable_join_operators(
+            outer.output_format, inner.output_format
+        )
+
+    def default_scan(self, table_index: int) -> ScanPlan:
+        """Scan plan using the library's first applicable scan operator."""
+        operator = self.scan_operators(table_index)[0]
+        return self.make_scan(table_index, operator)
+
+    def default_join(self, outer: Plan, inner: Plan) -> JoinPlan:
+        """Join plan using the library's first applicable join operator."""
+        operator = self.join_operators(outer, inner)[0]
+        return self.make_join(outer, inner, operator)
+
+
+#: Search algorithms only use the plan-building surface of the cost model;
+#: the alias documents that intent at call sites.
+PlanFactory = MultiObjectiveCostModel
+
+
+def sample_metric_names(
+    num_metrics: int,
+    rng: random.Random,
+    pool: Sequence[str] = PAPER_METRICS,
+) -> Tuple[str, ...]:
+    """Pick ``num_metrics`` distinct metric names uniformly from ``pool``.
+
+    The paper's evaluation considers up to three cost metrics and, "for less
+    than three cost metrics, selects the specified number of cost metrics
+    with uniform distribution from the total set of metrics for each test
+    case" (Section 6.1).
+    """
+    if not 1 <= num_metrics <= len(pool):
+        raise ValueError(
+            f"can only select between 1 and {len(pool)} metrics, got {num_metrics}"
+        )
+    return tuple(rng.sample(list(pool), num_metrics))

@@ -1,0 +1,96 @@
+"""Small helpers for cost vectors.
+
+Cost vectors are plain tuples of non-negative floats; keeping them as tuples
+(rather than a wrapper class) keeps dominance checks in the innermost search
+loops cheap.  The helpers here centralize the few arithmetic operations the
+rest of the library needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+#: Floor applied to cost values when computing ratios, to avoid division by
+#: zero for metrics that can legitimately be zero (e.g. disk footprint of a
+#: fully pipelined plan).
+RATIO_FLOOR = 1e-9
+
+
+def validate_cost_vector(cost: Sequence[float], num_metrics: int | None = None) -> None:
+    """Raise ``ValueError`` if ``cost`` is not a valid cost vector."""
+    if num_metrics is not None and len(cost) != num_metrics:
+        raise ValueError(
+            f"cost vector has {len(cost)} entries, expected {num_metrics}"
+        )
+    if len(cost) == 0:
+        raise ValueError("cost vector must have at least one entry")
+    for value in cost:
+        if value < 0:
+            raise ValueError(f"cost values must be non-negative, got {value}")
+        if value != value:  # NaN check
+            raise ValueError("cost values must not be NaN")
+
+
+def add_vectors(*vectors: Sequence[float]) -> Tuple[float, ...]:
+    """Component-wise sum of one or more cost vectors of equal length."""
+    if not vectors:
+        raise ValueError("need at least one vector")
+    length = len(vectors[0])
+    for vector in vectors:
+        if len(vector) != length:
+            raise ValueError("cannot add cost vectors of different lengths")
+    return tuple(sum(values) for values in zip(*vectors))
+
+
+def scale_vector(vector: Sequence[float], factor: float) -> Tuple[float, ...]:
+    """Multiply every component of a cost vector by ``factor``."""
+    return tuple(value * factor for value in vector)
+
+
+def max_ratio(numerator: Sequence[float], denominator: Sequence[float]) -> float:
+    """Maximum component-wise ratio ``numerator[i] / denominator[i]``.
+
+    This is the multiplicative factor by which ``numerator`` is worse than
+    ``denominator``; it is the building block of the approximation error
+    metric (Section 6.1).  Values are floored at :data:`RATIO_FLOOR` to avoid
+    division by zero.
+    """
+    if len(numerator) != len(denominator):
+        raise ValueError("cost vectors must have the same length")
+    worst = 0.0
+    for num, den in zip(numerator, denominator):
+        ratio = max(num, RATIO_FLOOR) / max(den, RATIO_FLOOR)
+        if ratio > worst:
+            worst = ratio
+    return worst
+
+
+def mean_relative_difference(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Average relative cost difference ``(first - second) / second`` over metrics.
+
+    Positive values mean ``first`` is more expensive on average.  This is the
+    aggregation the paper's SA generalization uses to decide acceptance of a
+    neighbor plan (Section 6.1).
+    """
+    if len(first) != len(second):
+        raise ValueError("cost vectors must have the same length")
+    total = 0.0
+    for first_value, second_value in zip(first, second):
+        denominator = max(second_value, RATIO_FLOOR)
+        total += (first_value - second_value) / denominator
+    return total / len(first)
+
+
+def component_means(vectors: Iterable[Sequence[float]]) -> Tuple[float, ...]:
+    """Component-wise mean of a non-empty collection of cost vectors."""
+    materialized = [tuple(vector) for vector in vectors]
+    if not materialized:
+        raise ValueError("need at least one vector")
+    length = len(materialized[0])
+    for vector in materialized:
+        if len(vector) != length:
+            raise ValueError("cost vectors must have the same length")
+    count = len(materialized)
+    return tuple(sum(vector[i] for vector in materialized) / count for i in range(length))

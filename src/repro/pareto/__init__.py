@@ -1,0 +1,37 @@
+"""Pareto-dominance machinery.
+
+Implements the dominance relations of Section 3 (dominance, strict dominance,
+approximate dominance with factor alpha), Pareto frontier containers with the
+two pruning policies used by Algorithms 2 and 3, the approximation-error
+indicator used throughout the evaluation (Section 6.1), and a hypervolume
+indicator as an additional quality measure.
+"""
+
+from repro.pareto.dominance import (
+    approx_dominates,
+    dominates,
+    strictly_dominates,
+)
+from repro.pareto.frontier import ParetoFrontier, pareto_filter
+from repro.pareto.epsilon import (
+    approximation_error,
+    approximation_error_of_plans,
+    is_alpha_approximation,
+)
+from repro.pareto.hypervolume import hypervolume
+from repro.pareto.selection import NoFeasiblePlanError, filter_by_bounds, select_plan
+
+__all__ = [
+    "select_plan",
+    "filter_by_bounds",
+    "NoFeasiblePlanError",
+    "dominates",
+    "strictly_dominates",
+    "approx_dominates",
+    "ParetoFrontier",
+    "pareto_filter",
+    "approximation_error",
+    "approximation_error_of_plans",
+    "is_alpha_approximation",
+    "hypervolume",
+]

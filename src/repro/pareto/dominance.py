@@ -1,0 +1,59 @@
+"""Pareto dominance relations on cost vectors (Section 3 of the paper).
+
+Cost metrics are *costs*: lower is better.  The relations are:
+
+* ``dominates(c1, c2)`` — ``c1 ⪯ c2``: ``c1`` is less than or equal to
+  ``c2`` in every metric.
+* ``strictly_dominates(c1, c2)`` — ``c1 ≺ c2``: ``c1 ⪯ c2`` and the vectors
+  differ, i.e. ``c1`` is strictly better in at least one metric.
+* ``approx_dominates(c1, c2, alpha)`` — ``c1 ⪯_α c2``: ``c1 ⪯ α · c2``,
+  i.e. ``c1`` is not worse than ``c2`` by more than factor ``α`` in any
+  metric (``α ≥ 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """Return whether ``first ⪯ second`` (no metric is worse)."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"cost vectors have different lengths: {len(first)} vs {len(second)}"
+        )
+    return all(a <= b for a, b in zip(first, second))
+
+
+def strictly_dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """Return whether ``first ≺ second`` (dominates and differs somewhere)."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"cost vectors have different lengths: {len(first)} vs {len(second)}"
+        )
+    not_worse = True
+    strictly_better = False
+    for a, b in zip(first, second):
+        if a > b:
+            not_worse = False
+            break
+        if a < b:
+            strictly_better = True
+    return not_worse and strictly_better
+
+
+def approx_dominates(
+    first: Sequence[float], second: Sequence[float], alpha: float
+) -> bool:
+    """Return whether ``first ⪯_α second`` for approximation factor ``alpha``.
+
+    ``alpha`` must be at least one; ``approx_dominates(a, b, 1.0)`` is
+    equivalent to ``dominates(a, b)``.
+    """
+    if alpha < 1.0:
+        raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+    if len(first) != len(second):
+        raise ValueError(
+            f"cost vectors have different lengths: {len(first)} vs {len(second)}"
+        )
+    return all(a <= alpha * b for a, b in zip(first, second))

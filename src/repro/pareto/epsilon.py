@@ -1,0 +1,90 @@
+"""Approximation-error indicator.
+
+The paper judges a plan set by "the lowest approximation factor α such that
+the produced plan set is an α-approximate Pareto plan set" (Section 6.1),
+equivalent to the multiplicative ε indicator of Zitzler and Thiele with
+``α = 1 + ε``.
+
+Given a produced set ``A`` and a reference frontier ``R``::
+
+    error(A, R) = max over r in R of  min over a in A of  max_i a_i / r_i
+
+i.e. for each reference point, the best produced plan covering it is found,
+and the worst such coverage factor over all reference points is reported.
+``error = 1`` means the produced set covers the whole reference frontier.
+An empty produced set yields ``float('inf')`` (matching how the paper treats
+algorithms that returned no plans within the time budget).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.cost.vector import max_ratio
+from repro.pareto.dominance import approx_dominates
+from repro.plans.plan import Plan
+
+
+def approximation_error(
+    produced: Iterable[Sequence[float]],
+    reference: Iterable[Sequence[float]],
+) -> float:
+    """Lowest α such that ``produced`` α-approximates ``reference``.
+
+    Parameters
+    ----------
+    produced:
+        Cost vectors of the plan set under evaluation.
+    reference:
+        Cost vectors of the reference (true or best-known) Pareto frontier.
+
+    Returns
+    -------
+    float
+        The approximation error (≥ 1), or ``inf`` when ``produced`` is empty
+        while ``reference`` is not.
+
+    Raises
+    ------
+    ValueError
+        If the reference frontier is empty.
+    """
+    produced_list: List[Tuple[float, ...]] = [tuple(c) for c in produced]
+    reference_list: List[Tuple[float, ...]] = [tuple(c) for c in reference]
+    if not reference_list:
+        raise ValueError("the reference frontier must not be empty")
+    if not produced_list:
+        return float("inf")
+    worst = 1.0
+    for reference_cost in reference_list:
+        best_cover = min(
+            max_ratio(produced_cost, reference_cost) for produced_cost in produced_list
+        )
+        if best_cover > worst:
+            worst = best_cover
+    return worst
+
+
+def approximation_error_of_plans(
+    produced: Iterable[Plan], reference: Iterable[Sequence[float]]
+) -> float:
+    """Convenience wrapper extracting cost vectors from plans."""
+    return approximation_error((plan.cost for plan in produced), reference)
+
+
+def is_alpha_approximation(
+    produced: Iterable[Sequence[float]],
+    reference: Iterable[Sequence[float]],
+    alpha: float,
+) -> bool:
+    """Return whether every reference point is α-dominated by a produced point."""
+    produced_list = [tuple(c) for c in produced]
+    reference_list = [tuple(c) for c in reference]
+    if not reference_list:
+        raise ValueError("the reference frontier must not be empty")
+    if not produced_list:
+        return False
+    return all(
+        any(approx_dominates(p, r, alpha) for p in produced_list)
+        for r in reference_list
+    )

@@ -1,0 +1,140 @@
+"""Pareto frontier containers and pruning.
+
+Two pruning policies appear in the paper:
+
+* Algorithm 2 (``Prune`` for hill climbing) keeps **one** non-dominated plan
+  per output data representation — it only needs a single good plan.
+* Algorithm 3 (``Prune`` for frontier approximation) keeps a set of plans
+  such that no kept plan is *approximately* dominated (factor ``α``) by
+  another kept plan — an α-approximate Pareto frontier whose size is bounded
+  polynomially (Lemma 6).
+
+:class:`ParetoFrontier` implements the second policy (with ``alpha = 1``
+giving an exact frontier) over arbitrary items carrying a cost vector;
+:func:`pareto_filter` is a convenience for one-shot filtering of cost-vector
+collections.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+from repro.pareto.dominance import approx_dominates, dominates, strictly_dominates
+
+ItemT = TypeVar("ItemT")
+
+
+class ParetoFrontier(Generic[ItemT]):
+    """A set of items kept mutually non-(α-)dominated by cost vector.
+
+    Parameters
+    ----------
+    cost_of:
+        Function extracting the cost vector from an item (identity for plain
+        cost vectors, ``lambda plan: plan.cost`` for plans).
+    alpha:
+        Approximation factor used when deciding whether a *new* item is
+        already covered by an existing one.  Existing items are only evicted
+        by new items that dominate them exactly (factor one), mirroring
+        Algorithm 3's pruning function.
+    """
+
+    def __init__(
+        self,
+        cost_of: Callable[[ItemT], Sequence[float]] = lambda item: item,  # type: ignore[assignment,return-value]
+        alpha: float = 1.0,
+    ) -> None:
+        if alpha < 1.0:
+            raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+        self._cost_of = cost_of
+        self._alpha = alpha
+        self._items: List[ItemT] = []
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def alpha(self) -> float:
+        """Approximation factor used for insertion."""
+        return self._alpha
+
+    @alpha.setter
+    def alpha(self, value: float) -> None:
+        if value < 1.0:
+            raise ValueError(f"approximation factor must be at least 1, got {value}")
+        self._alpha = value
+
+    def items(self) -> List[ItemT]:
+        """The currently kept items (copy)."""
+        return list(self._items)
+
+    def costs(self) -> List[Tuple[float, ...]]:
+        """Cost vectors of the currently kept items."""
+        return [tuple(self._cost_of(item)) for item in self._items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[ItemT]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    # -------------------------------------------------------------- updates
+    def insert(self, item: ItemT) -> bool:
+        """Insert ``item`` unless an existing item α-dominates it.
+
+        When the item is inserted, existing items it (exactly) dominates are
+        removed.  Returns True if the item was inserted.
+        """
+        cost = tuple(self._cost_of(item))
+        for existing in self._items:
+            if approx_dominates(tuple(self._cost_of(existing)), cost, self._alpha):
+                return False
+        self._items = [
+            existing
+            for existing in self._items
+            if not dominates(cost, tuple(self._cost_of(existing)))
+        ]
+        self._items.append(item)
+        return True
+
+    def insert_all(self, items: Iterable[ItemT]) -> int:
+        """Insert several items; returns how many were kept."""
+        return sum(1 for item in items if self.insert(item))
+
+    def clear(self) -> None:
+        """Remove all items."""
+        self._items.clear()
+
+    # ------------------------------------------------------------- queries
+    def covers(self, cost: Sequence[float], alpha: float | None = None) -> bool:
+        """Return whether some kept item α-dominates the given cost vector."""
+        factor = self._alpha if alpha is None else alpha
+        return any(
+            approx_dominates(tuple(self._cost_of(item)), cost, factor)
+            for item in self._items
+        )
+
+    def dominated_by_any(self, cost: Sequence[float]) -> bool:
+        """Return whether some kept item strictly dominates the cost vector."""
+        return any(
+            strictly_dominates(tuple(self._cost_of(item)), cost)
+            for item in self._items
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParetoFrontier(size={len(self._items)}, alpha={self._alpha})"
+
+
+def pareto_filter(
+    costs: Iterable[Sequence[float]], alpha: float = 1.0
+) -> List[Tuple[float, ...]]:
+    """Return a (α-approximate) Pareto-optimal subset of the given cost vectors.
+
+    With ``alpha = 1`` the result contains one representative for every
+    non-dominated cost value (duplicates are collapsed).
+    """
+    frontier: ParetoFrontier[Tuple[float, ...]] = ParetoFrontier(alpha=alpha)
+    for cost in costs:
+        frontier.insert(tuple(cost))
+    return frontier.items()

@@ -1,0 +1,68 @@
+"""Hypervolume indicator (extension).
+
+The paper compares algorithms only with the multiplicative approximation
+error, but the hypervolume indicator is the other standard multi-objective
+quality measure and is useful as an independent sanity check in the benchmark
+harness (a better frontier should both lower the α error and raise the
+dominated hypervolume).
+
+For minimization problems the hypervolume of a point set is the volume of the
+region dominated by the set and bounded above by a reference point.  The
+implementation uses the classic recursive slicing approach, which is exact
+and fast enough for the 2–3 dimensional frontiers this library produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.pareto.frontier import pareto_filter
+
+
+def hypervolume(
+    costs: Iterable[Sequence[float]], reference_point: Sequence[float]
+) -> float:
+    """Hypervolume dominated by ``costs`` with respect to ``reference_point``.
+
+    Points that do not strictly dominate the reference point in every metric
+    contribute nothing.  Returns zero for an empty set.
+    """
+    reference = tuple(float(v) for v in reference_point)
+    cleaned: List[Tuple[float, ...]] = []
+    for cost in costs:
+        point = tuple(float(v) for v in cost)
+        if len(point) != len(reference):
+            raise ValueError(
+                f"cost vector of length {len(point)} does not match reference of "
+                f"length {len(reference)}"
+            )
+        if all(value < bound for value, bound in zip(point, reference)):
+            cleaned.append(point)
+    if not cleaned:
+        return 0.0
+    front = pareto_filter(cleaned)
+    return _hypervolume_recursive(front, reference)
+
+
+def _hypervolume_recursive(
+    points: List[Tuple[float, ...]], reference: Tuple[float, ...]
+) -> float:
+    """Exact hypervolume by slicing along the last dimension."""
+    dimension = len(reference)
+    if dimension == 1:
+        return max(0.0, reference[0] - min(point[0] for point in points))
+    # Sort by the last coordinate and sweep slices from best to worst.
+    ordered = sorted(points, key=lambda point: point[-1])
+    total = 0.0
+    previous_bound = reference[-1]
+    for index in range(len(ordered) - 1, -1, -1):
+        slab_top = previous_bound
+        slab_bottom = ordered[index][-1]
+        height = slab_top - slab_bottom
+        if height > 0:
+            slab_points = [point[:-1] for point in ordered[: index + 1]]
+            slab_front = pareto_filter(slab_points)
+            area = _hypervolume_recursive(slab_front, reference[:-1])
+            total += area * height
+            previous_bound = slab_bottom
+    return total

@@ -1,0 +1,113 @@
+"""Plan selection from a Pareto frontier based on user preferences.
+
+The paper describes two ways of consuming the Pareto plan set (Section 1):
+either the tradeoffs are visualized and the user picks a plan interactively,
+or "the best plan can be selected automatically out of that set based on a
+specification of user preferences (i.e., in the form of cost weights and cost
+bounds)".  This module implements the second option: hard per-metric upper
+bounds filter the candidate set, and a weighted sum over (optionally
+normalized) cost values ranks the remaining plans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.plans.plan import Plan
+
+
+class NoFeasiblePlanError(ValueError):
+    """Raised when no plan satisfies the given cost bounds."""
+
+
+def filter_by_bounds(
+    plans: Iterable[Plan], bounds: Sequence[Optional[float]]
+) -> List[Plan]:
+    """Keep the plans whose cost respects every given upper bound.
+
+    ``bounds[i]`` is the maximum acceptable value for metric ``i``;
+    ``None`` entries leave the metric unconstrained.
+    """
+    kept = []
+    for plan in plans:
+        if len(plan.cost) != len(bounds):
+            raise ValueError(
+                f"plan has {len(plan.cost)} metrics but {len(bounds)} bounds were given"
+            )
+        if all(
+            bound is None or value <= bound for value, bound in zip(plan.cost, bounds)
+        ):
+            kept.append(plan)
+    return kept
+
+
+def select_plan(
+    plans: Iterable[Plan],
+    weights: Optional[Sequence[float]] = None,
+    bounds: Optional[Sequence[Optional[float]]] = None,
+    normalize: bool = True,
+) -> Plan:
+    """Select one plan from a Pareto set according to user preferences.
+
+    Parameters
+    ----------
+    plans:
+        Candidate plans (typically the frontier returned by an optimizer).
+    weights:
+        Relative importance of each cost metric; uniform weights are used when
+        omitted.  Weights must be non-negative and not all zero.
+    bounds:
+        Optional per-metric upper bounds applied before ranking.
+    normalize:
+        Normalize each metric by its maximum over the candidates before
+        applying the weights, so that metrics with large absolute values do
+        not dominate the ranking by scale alone.
+
+    Returns
+    -------
+    Plan
+        The feasible plan with the lowest weighted (normalized) cost.
+
+    Raises
+    ------
+    NoFeasiblePlanError
+        If no plan is given or none satisfies the bounds.
+    """
+    candidates = list(plans)
+    if not candidates:
+        raise NoFeasiblePlanError("no candidate plans were given")
+    num_metrics = len(candidates[0].cost)
+
+    if bounds is not None:
+        candidates = filter_by_bounds(candidates, bounds)
+        if not candidates:
+            raise NoFeasiblePlanError("no plan satisfies the given cost bounds")
+
+    if weights is None:
+        weight_vector = [1.0] * num_metrics
+    else:
+        weight_vector = list(weights)
+        if len(weight_vector) != num_metrics:
+            raise ValueError(
+                f"{len(weight_vector)} weights given for {num_metrics} cost metrics"
+            )
+        if any(weight < 0 for weight in weight_vector):
+            raise ValueError("weights must be non-negative")
+        if sum(weight_vector) == 0:
+            raise ValueError("at least one weight must be positive")
+
+    if normalize:
+        scales = [
+            max(plan.cost[index] for plan in candidates) or 1.0
+            for index in range(num_metrics)
+        ]
+    else:
+        scales = [1.0] * num_metrics
+
+    def score(plan: Plan) -> float:
+        return sum(
+            weight * value / scale
+            for weight, value, scale in zip(weight_vector, plan.cost, scales)
+        )
+
+    return min(candidates, key=score)

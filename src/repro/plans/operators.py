@@ -1,0 +1,333 @@
+"""Physical operators for scans and joins.
+
+The paper abstracts over the concrete operator library: Section 4.3
+(footnote 2) only requires that several operator implementations exist per
+logical operation and that they realize different cost tradeoffs (e.g. a hash
+join trades buffer space for execution time against a block-nested-loop
+join).  This module provides such a library.
+
+Operators carry the parameters that the cost models read:
+
+* ``output_format`` — whether the operator materializes its result or streams
+  it (the paper's ``SameOutput`` compares this property),
+* ``memory_pages`` — how much working memory the operator allocates,
+* ``parallelism`` — degree of parallelism (used by the monetary/cloud cost
+  metric extension),
+* ``sampling_rate`` — fraction of input rows produced by a sampling scan
+  (used by the precision cost metric extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+
+class DataFormat(str, Enum):
+    """Output data representation of an operator.
+
+    Sub-plans producing different representations cannot be compared by cost
+    alone because the representation can influence the cost (or
+    applicability) of operators higher up in the plan (Section 4.2).
+    """
+
+    MATERIALIZED = "materialized"
+    PIPELINED = "pipelined"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class JoinAlgorithm(str, Enum):
+    """Join algorithm families with distinct cost behaviour."""
+
+    HASH = "hash"
+    SORT_MERGE = "sort_merge"
+    BLOCK_NESTED_LOOP = "block_nested_loop"
+    NESTED_LOOP = "nested_loop"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ScanAlgorithm(str, Enum):
+    """Scan algorithm families."""
+
+    FULL = "full"
+    INDEX = "index"
+    SAMPLE = "sample"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ScanOperator:
+    """A physical scan operator.
+
+    Parameters
+    ----------
+    name:
+        Unique operator name within its library.
+    algorithm:
+        Scan algorithm family.
+    output_format:
+        Output data representation.
+    sampling_rate:
+        Fraction of the table's rows the scan produces (1.0 = full table).
+        Values below one are used by the approximate-query-processing
+        extension and incur a precision-loss cost.
+    parallelism:
+        Degree of parallelism; speeds up the scan but increases the monetary
+        cost metric.
+    """
+
+    name: str
+    algorithm: ScanAlgorithm = ScanAlgorithm.FULL
+    output_format: DataFormat = DataFormat.PIPELINED
+    sampling_rate: float = 1.0
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sampling_rate <= 1:
+            raise ValueError(f"sampling rate must be in (0, 1], got {self.sampling_rate}")
+        if self.parallelism < 1:
+            raise ValueError(f"parallelism must be at least 1, got {self.parallelism}")
+
+    @property
+    def is_join(self) -> bool:
+        """Scans are never joins; provided for symmetric operator handling."""
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class JoinOperator:
+    """A physical join operator.
+
+    Parameters
+    ----------
+    name:
+        Unique operator name within its library.
+    algorithm:
+        Join algorithm family; drives the time/buffer/disk formulas.
+    output_format:
+        Output data representation.
+    memory_pages:
+        Working memory the operator allocates (pages).  Larger budgets lower
+        execution time (fewer passes) but raise the buffer-space metric.
+    parallelism:
+        Degree of parallelism; lowers execution time but raises monetary cost.
+    """
+
+    name: str
+    algorithm: JoinAlgorithm
+    output_format: DataFormat = DataFormat.PIPELINED
+    memory_pages: float = 64.0
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.memory_pages < 1:
+            raise ValueError(f"memory pages must be at least 1, got {self.memory_pages}")
+        if self.parallelism < 1:
+            raise ValueError(f"parallelism must be at least 1, got {self.parallelism}")
+
+    @property
+    def is_join(self) -> bool:
+        """Join operators are joins; provided for symmetric operator handling."""
+        return True
+
+    @property
+    def requires_materialized_inner(self) -> bool:
+        """Nested-loop style joins must rescan the inner, so it must be stored."""
+        return self.algorithm in (
+            JoinAlgorithm.BLOCK_NESTED_LOOP,
+            JoinAlgorithm.NESTED_LOOP,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class OperatorLibrary:
+    """The set of scan and join operators available to the optimizer.
+
+    The library also encodes operator applicability: nested-loop style joins
+    require a materialized (re-scannable) inner input, all other operators are
+    always applicable.  A hash join is always part of every library so that
+    every pair of sub-plans has at least one applicable join operator.
+    """
+
+    scan_operators: Tuple[ScanOperator, ...]
+    join_operators: Tuple[JoinOperator, ...]
+
+    def __post_init__(self) -> None:
+        if not self.scan_operators:
+            raise ValueError("operator library needs at least one scan operator")
+        if not self.join_operators:
+            raise ValueError("operator library needs at least one join operator")
+        scan_names = [op.name for op in self.scan_operators]
+        join_names = [op.name for op in self.join_operators]
+        if len(set(scan_names)) != len(scan_names):
+            raise ValueError("duplicate scan operator names")
+        if len(set(join_names)) != len(join_names):
+            raise ValueError("duplicate join operator names")
+        if not any(not op.requires_materialized_inner for op in self.join_operators):
+            raise ValueError(
+                "library needs at least one join operator applicable to any input"
+            )
+
+    # --------------------------------------------------------- applicability
+    def applicable_scan_operators(self, table_index: int) -> Tuple[ScanOperator, ...]:
+        """Scan operators applicable to the given table (all, in this model)."""
+        del table_index  # all scans apply to all tables in the simplified model
+        return self.scan_operators
+
+    def applicable_join_operators(
+        self, outer_format: DataFormat, inner_format: DataFormat
+    ) -> Tuple[JoinOperator, ...]:
+        """Join operators applicable to inputs with the given output formats."""
+        del outer_format  # only the inner format restricts applicability
+        return tuple(
+            op
+            for op in self.join_operators
+            if not op.requires_materialized_inner
+            or inner_format is DataFormat.MATERIALIZED
+        )
+
+    def scan_operator(self, name: str) -> ScanOperator:
+        """Look up a scan operator by name."""
+        for op in self.scan_operators:
+            if op.name == name:
+                return op
+        raise KeyError(f"unknown scan operator: {name}")
+
+    def join_operator(self, name: str) -> JoinOperator:
+        """Look up a join operator by name."""
+        for op in self.join_operators:
+            if op.name == name:
+                return op
+        raise KeyError(f"unknown join operator: {name}")
+
+    @property
+    def num_operators(self) -> int:
+        """Total number of operators in the library."""
+        return len(self.scan_operators) + len(self.join_operators)
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def default(cls) -> "OperatorLibrary":
+        """The operator library used by the paper-style experiments.
+
+        Offers enough operator variety that a single join order realizes
+        several Pareto-optimal tradeoffs between execution time, buffer space
+        and disk footprint (the insight motivating Algorithm 3).
+        """
+        scans = (
+            ScanOperator("seq_scan", ScanAlgorithm.FULL, DataFormat.PIPELINED),
+            ScanOperator("seq_scan_mat", ScanAlgorithm.FULL, DataFormat.MATERIALIZED),
+            ScanOperator("index_scan", ScanAlgorithm.INDEX, DataFormat.PIPELINED),
+        )
+        joins = (
+            JoinOperator("hash_join", JoinAlgorithm.HASH, DataFormat.PIPELINED, memory_pages=4096),
+            JoinOperator(
+                "hash_join_small", JoinAlgorithm.HASH, DataFormat.PIPELINED, memory_pages=32
+            ),
+            JoinOperator(
+                "hash_join_mat", JoinAlgorithm.HASH, DataFormat.MATERIALIZED, memory_pages=4096
+            ),
+            JoinOperator(
+                "sort_merge_join", JoinAlgorithm.SORT_MERGE, DataFormat.MATERIALIZED, memory_pages=256
+            ),
+            JoinOperator(
+                "bnl_join_small", JoinAlgorithm.BLOCK_NESTED_LOOP, DataFormat.PIPELINED, memory_pages=8
+            ),
+            JoinOperator(
+                "bnl_join_large", JoinAlgorithm.BLOCK_NESTED_LOOP, DataFormat.PIPELINED, memory_pages=128
+            ),
+        )
+        return cls(scan_operators=scans, join_operators=joins)
+
+    @classmethod
+    def minimal(cls) -> "OperatorLibrary":
+        """Single scan and join operator; useful for unit tests and examples."""
+        scans = (ScanOperator("seq_scan", ScanAlgorithm.FULL, DataFormat.PIPELINED),)
+        joins = (
+            JoinOperator("hash_join", JoinAlgorithm.HASH, DataFormat.PIPELINED, memory_pages=1024),
+        )
+        return cls(scan_operators=scans, join_operators=joins)
+
+    @classmethod
+    def cloud(cls, parallelism_levels: Sequence[int] = (1, 4, 16)) -> "OperatorLibrary":
+        """Library with parallelism variants for the cloud (monetary) scenario.
+
+        Each parallelism level produces one variant of the scan and hash join
+        operators; higher parallelism lowers execution time but raises the
+        monetary cost metric, which is the tradeoff motivating the cloud
+        scenario in the paper's introduction.
+        """
+        if not parallelism_levels:
+            raise ValueError("need at least one parallelism level")
+        scans: List[ScanOperator] = []
+        joins: List[JoinOperator] = []
+        for level in parallelism_levels:
+            scans.append(
+                ScanOperator(
+                    f"seq_scan_p{level}",
+                    ScanAlgorithm.FULL,
+                    DataFormat.PIPELINED,
+                    parallelism=level,
+                )
+            )
+            joins.append(
+                JoinOperator(
+                    f"hash_join_p{level}",
+                    JoinAlgorithm.HASH,
+                    DataFormat.PIPELINED,
+                    memory_pages=1024,
+                    parallelism=level,
+                )
+            )
+            joins.append(
+                JoinOperator(
+                    f"sort_merge_join_p{level}",
+                    JoinAlgorithm.SORT_MERGE,
+                    DataFormat.MATERIALIZED,
+                    memory_pages=256,
+                    parallelism=level,
+                )
+            )
+        return cls(scan_operators=tuple(scans), join_operators=tuple(joins))
+
+    @classmethod
+    def sampling(
+        cls, sampling_rates: Sequence[float] = (1.0, 0.1, 0.01)
+    ) -> "OperatorLibrary":
+        """Library with sampling scan variants for approximate query processing.
+
+        Lower sampling rates lower execution time but raise the
+        precision-loss cost metric, reproducing the precision/time tradeoff
+        scenario from the paper's introduction.
+        """
+        if not sampling_rates:
+            raise ValueError("need at least one sampling rate")
+        scans = tuple(
+            ScanOperator(
+                f"sample_scan_{rate:g}",
+                ScanAlgorithm.SAMPLE if rate < 1.0 else ScanAlgorithm.FULL,
+                DataFormat.PIPELINED,
+                sampling_rate=rate,
+            )
+            for rate in sampling_rates
+        )
+        joins = (
+            JoinOperator("hash_join", JoinAlgorithm.HASH, DataFormat.PIPELINED, memory_pages=1024),
+            JoinOperator(
+                "bnl_join_small", JoinAlgorithm.BLOCK_NESTED_LOOP, DataFormat.PIPELINED, memory_pages=8
+            ),
+        )
+        return cls(scan_operators=scans, join_operators=joins)

@@ -1,0 +1,195 @@
+"""Bushy query plan representation.
+
+Plans mirror the paper's formal model (Section 3):
+
+* ``ScanPlan(q, op)`` scans a single table with scan operator ``op``.
+* ``JoinPlan(outer, inner, op)`` joins the results of two sub-plans with join
+  operator ``op``.
+* ``p.rel`` is the set of table indices joined by plan ``p``.
+* ``p.cost`` is the plan's cost vector (one entry per cost metric).
+
+Plans are immutable.  Their cost vector and output cardinality are computed
+when the plan is built (by :class:`repro.cost.model.PlanFactory`) so that
+dominance checks during search are O(#metrics); this realizes the "recompute
+sub-plan cost in constant time" optimization discussed in Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.plans.operators import DataFormat, JoinOperator, ScanOperator
+from repro.query.table import Table
+
+
+class Plan:
+    """Common interface of scan and join plans.
+
+    Attributes
+    ----------
+    rel:
+        The set of table indices joined by this plan (``p.rel`` in the paper).
+    cost:
+        Cost vector, one non-negative entry per cost metric.
+    cardinality:
+        Estimated number of output rows.
+    output_format:
+        Output data representation (what ``SameOutput`` compares).
+    """
+
+    __slots__ = ("rel", "cost", "cardinality", "output_format")
+
+    def __init__(
+        self,
+        rel: FrozenSet[int],
+        cost: Tuple[float, ...],
+        cardinality: float,
+        output_format: DataFormat,
+    ) -> None:
+        self.rel = rel
+        self.cost = cost
+        self.cardinality = cardinality
+        self.output_format = output_format
+
+    # ----------------------------------------------------------- structure
+    @property
+    def is_join(self) -> bool:
+        """True for join plans, False for scan plans (``p.isJoin``)."""
+        raise NotImplementedError
+
+    @property
+    def num_tables(self) -> int:
+        """Number of base tables joined by this plan."""
+        return len(self.rel)
+
+    def iter_nodes(self) -> Iterator["Plan"]:
+        """Iterate over all plan nodes in post-order (children before parents)."""
+        raise NotImplementedError
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of plan nodes (scans + joins)."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def height(self) -> int:
+        """Height of the plan tree (a scan has height one)."""
+        raise NotImplementedError
+
+    def join_order_signature(self) -> Tuple:
+        """A hashable signature of the join order, ignoring operator choices.
+
+        Two plans with the same signature join the same table sets in the same
+        tree shape; they may differ in scan/join operators.  Used by tests and
+        by diversity statistics in the benchmark harness.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- equality
+    def structurally_equal(self, other: "Plan") -> bool:
+        """Deep structural equality: same shape, tables and operators."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tables = ",".join(str(t) for t in sorted(self.rel))
+        return f"{type(self).__name__}(rel={{{tables}}}, cost={self.cost})"
+
+
+class ScanPlan(Plan):
+    """A plan scanning a single base table."""
+
+    __slots__ = ("table", "operator")
+
+    def __init__(
+        self,
+        table: Table,
+        operator: ScanOperator,
+        cost: Tuple[float, ...],
+        cardinality: float,
+    ) -> None:
+        super().__init__(
+            rel=frozenset((table.index,)),
+            cost=cost,
+            cardinality=cardinality,
+            output_format=operator.output_format,
+        )
+        self.table = table
+        self.operator = operator
+
+    @property
+    def is_join(self) -> bool:
+        return False
+
+    @property
+    def height(self) -> int:
+        return 1
+
+    def iter_nodes(self) -> Iterator[Plan]:
+        yield self
+
+    def join_order_signature(self) -> Tuple:
+        return ("scan", self.table.index)
+
+    def structurally_equal(self, other: Plan) -> bool:
+        return (
+            isinstance(other, ScanPlan)
+            and other.table.index == self.table.index
+            and other.operator == self.operator
+        )
+
+
+class JoinPlan(Plan):
+    """A plan joining the results of an outer and an inner sub-plan."""
+
+    __slots__ = ("outer", "inner", "operator")
+
+    def __init__(
+        self,
+        outer: Plan,
+        inner: Plan,
+        operator: JoinOperator,
+        cost: Tuple[float, ...],
+        cardinality: float,
+    ) -> None:
+        overlap = outer.rel & inner.rel
+        if overlap:
+            raise ValueError(
+                f"outer and inner plans overlap on tables {sorted(overlap)}"
+            )
+        super().__init__(
+            rel=outer.rel | inner.rel,
+            cost=cost,
+            cardinality=cardinality,
+            output_format=operator.output_format,
+        )
+        self.outer = outer
+        self.inner = inner
+        self.operator = operator
+
+    @property
+    def is_join(self) -> bool:
+        return True
+
+    @property
+    def height(self) -> int:
+        return 1 + max(self.outer.height, self.inner.height)
+
+    def iter_nodes(self) -> Iterator[Plan]:
+        yield from self.outer.iter_nodes()
+        yield from self.inner.iter_nodes()
+        yield self
+
+    def join_order_signature(self) -> Tuple:
+        return (
+            "join",
+            self.outer.join_order_signature(),
+            self.inner.join_order_signature(),
+        )
+
+    def structurally_equal(self, other: Plan) -> bool:
+        return (
+            isinstance(other, JoinPlan)
+            and other.operator == self.operator
+            and self.outer.structurally_equal(other.outer)
+            and self.inner.structurally_equal(other.inner)
+        )

@@ -1,0 +1,103 @@
+"""Plan pretty-printing and compact signatures.
+
+``explain_plan`` renders a plan as an indented operator tree, similar to a
+database ``EXPLAIN`` output.  ``plan_signature`` produces a compact one-line
+algebra-style string such as ``((t0 HJ t1) BNL t2)`` which is convenient for
+logging and for deduplicating join orders in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+
+#: Abbreviations used by :func:`plan_signature` for the default operators.
+_OPERATOR_ABBREVIATIONS = {
+    "hash_join": "HJ",
+    "hash_join_small": "HJs",
+    "hash_join_mat": "HJm",
+    "sort_merge_join": "SMJ",
+    "bnl_join_small": "BNLs",
+    "bnl_join_large": "BNLl",
+    "nested_loop_join": "NL",
+    "seq_scan": "",
+    "seq_scan_mat": "!",
+    "index_scan": "#",
+}
+
+
+def _abbreviate(name: str) -> str:
+    return _OPERATOR_ABBREVIATIONS.get(name, name)
+
+
+def plan_signature(plan: Plan) -> str:
+    """Compact one-line rendering of a plan's join order and operators."""
+    if isinstance(plan, ScanPlan):
+        suffix = _abbreviate(plan.operator.name)
+        return f"{plan.table.name}{suffix}"
+    if isinstance(plan, JoinPlan):
+        outer = plan_signature(plan.outer)
+        inner = plan_signature(plan.inner)
+        op = _abbreviate(plan.operator.name) or plan.operator.name
+        return f"({outer} {op} {inner})"
+    raise TypeError(f"unknown plan type: {type(plan)!r}")
+
+
+def explain_plan(
+    plan: Plan,
+    metric_names: Sequence[str] | None = None,
+    indent: str = "  ",
+) -> str:
+    """Render a plan as an indented operator tree with cost annotations.
+
+    Parameters
+    ----------
+    plan:
+        The plan to render.
+    metric_names:
+        Names for the entries of the plan's cost vector; generic names
+        (``m0``, ``m1`` ...) are used when omitted.
+    indent:
+        Indentation string per tree level.
+    """
+    names = (
+        list(metric_names)
+        if metric_names is not None
+        else [f"m{i}" for i in range(len(plan.cost))]
+    )
+    if len(names) != len(plan.cost):
+        raise ValueError(
+            f"{len(names)} metric names given for a cost vector of length {len(plan.cost)}"
+        )
+    lines: List[str] = []
+    _explain_into(plan, names, lines, depth=0, indent=indent)
+    return "\n".join(lines)
+
+
+def _explain_into(
+    plan: Plan,
+    metric_names: Sequence[str],
+    lines: List[str],
+    depth: int,
+    indent: str,
+) -> None:
+    cost_text = ", ".join(
+        f"{name}={value:.3g}" for name, value in zip(metric_names, plan.cost)
+    )
+    prefix = indent * depth
+    if isinstance(plan, ScanPlan):
+        lines.append(
+            f"{prefix}Scan[{plan.operator.name}] {plan.table.name} "
+            f"(rows={plan.cardinality:.3g}, {cost_text})"
+        )
+        return
+    if isinstance(plan, JoinPlan):
+        lines.append(
+            f"{prefix}Join[{plan.operator.name}] "
+            f"(rows={plan.cardinality:.3g}, {cost_text})"
+        )
+        _explain_into(plan.outer, metric_names, lines, depth + 1, indent)
+        _explain_into(plan.inner, metric_names, lines, depth + 1, indent)
+        return
+    raise TypeError(f"unknown plan type: {type(plan)!r}")

@@ -1,0 +1,163 @@
+"""Local plan transformations for bushy query plans.
+
+Section 4.2 of the paper assumes "the standard mutations for bushy query
+plans [Steinbrunn et al.]" applied at each node of the plan tree.  Those
+rules, operating on the top two levels of a (sub-)plan rooted at a join node,
+are:
+
+* **commutativity** — ``A ⋈ B  →  B ⋈ A``
+* **left associativity** — ``(A ⋈ B) ⋈ C  →  A ⋈ (B ⋈ C)``
+* **right associativity** — ``A ⋈ (B ⋈ C)  →  (A ⋈ B) ⋈ C``
+* **left join exchange** — ``(A ⋈ B) ⋈ C  →  (A ⋈ C) ⋈ B``
+* **right join exchange** — ``A ⋈ (B ⋈ C)  →  B ⋈ (A ⋈ C)``
+* **operator change** — replace the physical operator of the root node
+
+Scan nodes only mutate by operator change.  Every mutation list also contains
+the identity rebuild of the input plan so that hill climbing can keep the
+current structure when no transformation improves it.
+
+All transformations are *local*: they only rebuild the top one or two join
+nodes, reusing existing sub-plans, so one mutation costs O(#metrics) thanks
+to the bottom-up cost vectors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.plans.operators import JoinOperator
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.cost.model import PlanFactory
+
+
+class TransformationRules:
+    """Generates neighbor plans via the standard bushy-plan transformations.
+
+    Parameters
+    ----------
+    enable_associativity:
+        Allow the two associativity rules; disabling them restricts the
+        reachable plan space (useful for ablation experiments).
+    enable_exchange:
+        Allow the two join-exchange rules.
+    enable_operator_change:
+        Allow replacing the root operator by other applicable operators.
+    """
+
+    def __init__(
+        self,
+        enable_associativity: bool = True,
+        enable_exchange: bool = True,
+        enable_operator_change: bool = True,
+    ) -> None:
+        self.enable_associativity = enable_associativity
+        self.enable_exchange = enable_exchange
+        self.enable_operator_change = enable_operator_change
+
+    # ----------------------------------------------------------- public API
+    def mutations(self, plan: Plan, factory: "PlanFactory") -> List[Plan]:
+        """All neighbor plans reachable from ``plan`` via one local transformation.
+
+        The returned list always includes ``plan`` itself (the identity
+        mutation) and never contains plans joining a different table set.
+        """
+        if isinstance(plan, ScanPlan):
+            return self._scan_mutations(plan, factory)
+        if isinstance(plan, JoinPlan):
+            return self._join_mutations(plan, factory)
+        raise TypeError(f"unknown plan type: {type(plan)!r}")
+
+    def rebuild_join(
+        self,
+        outer: Plan,
+        inner: Plan,
+        preferred: JoinOperator,
+        factory: "PlanFactory",
+    ) -> JoinPlan:
+        """Build ``outer ⋈ inner`` using ``preferred`` if applicable.
+
+        Falls back to the library's first applicable operator when the
+        preferred operator cannot be used on the children's output formats
+        (e.g. a nested-loop join whose inner became pipelined).
+        """
+        applicable = factory.join_operators(outer, inner)
+        operator = preferred if preferred in applicable else applicable[0]
+        return factory.make_join(outer, inner, operator)
+
+    # ------------------------------------------------------------ internals
+    def _scan_mutations(self, plan: ScanPlan, factory: "PlanFactory") -> List[Plan]:
+        results: List[Plan] = [plan]
+        if not self.enable_operator_change:
+            return results
+        for operator in factory.scan_operators(plan.table.index):
+            if operator != plan.operator:
+                results.append(factory.make_scan(plan.table.index, operator))
+        return results
+
+    def _join_mutations(self, plan: JoinPlan, factory: "PlanFactory") -> List[Plan]:
+        results: List[Plan] = [plan]
+        outer, inner = plan.outer, plan.inner
+        root_operator = plan.operator
+
+        # Operator change at the root.
+        if self.enable_operator_change:
+            for operator in factory.join_operators(outer, inner):
+                if operator != root_operator:
+                    results.append(factory.make_join(outer, inner, operator))
+
+        # Commutativity: swap outer and inner.
+        for operator in self._root_operators(inner, outer, root_operator, factory):
+            results.append(factory.make_join(inner, outer, operator))
+
+        # Rules that require a join as the outer child.
+        if isinstance(outer, JoinPlan):
+            a, b = outer.outer, outer.inner
+            if self.enable_associativity:
+                # (A ⋈ B) ⋈ C  →  A ⋈ (B ⋈ C)
+                new_inner = self.rebuild_join(b, inner, outer.operator, factory)
+                for operator in self._root_operators(a, new_inner, root_operator, factory):
+                    results.append(factory.make_join(a, new_inner, operator))
+            if self.enable_exchange:
+                # (A ⋈ B) ⋈ C  →  (A ⋈ C) ⋈ B
+                new_outer = self.rebuild_join(a, inner, outer.operator, factory)
+                for operator in self._root_operators(new_outer, b, root_operator, factory):
+                    results.append(factory.make_join(new_outer, b, operator))
+
+        # Rules that require a join as the inner child.
+        if isinstance(inner, JoinPlan):
+            b, c = inner.outer, inner.inner
+            if self.enable_associativity:
+                # A ⋈ (B ⋈ C)  →  (A ⋈ B) ⋈ C
+                new_outer = self.rebuild_join(outer, b, inner.operator, factory)
+                for operator in self._root_operators(new_outer, c, root_operator, factory):
+                    results.append(factory.make_join(new_outer, c, operator))
+            if self.enable_exchange:
+                # A ⋈ (B ⋈ C)  →  B ⋈ (A ⋈ C)
+                new_inner = self.rebuild_join(outer, c, inner.operator, factory)
+                for operator in self._root_operators(b, new_inner, root_operator, factory):
+                    results.append(factory.make_join(b, new_inner, operator))
+
+        return results
+
+    def _root_operators(
+        self,
+        outer: Plan,
+        inner: Plan,
+        preferred: JoinOperator,
+        factory: "PlanFactory",
+    ) -> List[JoinOperator]:
+        """Operators to try at the root of a structural mutation.
+
+        With operator change enabled every applicable operator is tried,
+        otherwise only the preferred operator (or the first applicable one as
+        a fallback) is used, keeping the number of mutations per node bounded
+        by a constant in both configurations.
+        """
+        applicable = factory.join_operators(outer, inner)
+        if self.enable_operator_change:
+            return list(applicable)
+        if preferred in applicable:
+            return [preferred]
+        return [applicable[0]]

@@ -1,0 +1,137 @@
+"""Plan validation.
+
+Validation is used by tests and by the benchmark harness to assert that every
+plan produced by any algorithm is a well-formed bushy plan for its query:
+every query table is scanned exactly once, joins combine disjoint table sets,
+operator applicability constraints hold, and the cached cost vector is
+consistent (non-negative, right arity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.plans.operators import DataFormat, OperatorLibrary
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.query import Query
+
+
+class PlanValidationError(ValueError):
+    """Raised when a plan violates a structural invariant."""
+
+
+def validate_plan(
+    plan: Plan,
+    query: Query,
+    library: Optional[OperatorLibrary] = None,
+    num_metrics: Optional[int] = None,
+    require_complete: bool = True,
+) -> None:
+    """Validate a plan against its query.
+
+    Parameters
+    ----------
+    plan:
+        The plan to validate.
+    query:
+        The query the plan claims to answer.
+    library:
+        If given, operator applicability (e.g. nested-loop joins requiring a
+        materialized inner) is checked against this library.
+    num_metrics:
+        If given, the plan's cost vector must have exactly this many entries.
+    require_complete:
+        If True (default) the plan must join exactly the query's full table
+        set; set to False to validate partial plans (e.g. plan-cache entries).
+
+    Raises
+    ------
+    PlanValidationError
+        If any invariant is violated.
+    """
+    if require_complete and plan.rel != query.relations:
+        raise PlanValidationError(
+            f"plan joins tables {sorted(plan.rel)} but the query has "
+            f"tables {sorted(query.relations)}"
+        )
+    if not plan.rel <= query.relations:
+        raise PlanValidationError(
+            f"plan references tables {sorted(plan.rel - query.relations)} "
+            "that are not part of the query"
+        )
+    _validate_node(plan, query, library, num_metrics)
+
+
+def _validate_node(
+    plan: Plan,
+    query: Query,
+    library: Optional[OperatorLibrary],
+    num_metrics: Optional[int],
+) -> None:
+    _validate_cost_vector(plan, num_metrics)
+    if isinstance(plan, ScanPlan):
+        _validate_scan(plan, query)
+        return
+    if isinstance(plan, JoinPlan):
+        _validate_join(plan, library)
+        _validate_node(plan.outer, query, library, num_metrics)
+        _validate_node(plan.inner, query, library, num_metrics)
+        return
+    raise PlanValidationError(f"unknown plan node type: {type(plan)!r}")
+
+
+def _validate_cost_vector(plan: Plan, num_metrics: Optional[int]) -> None:
+    if num_metrics is not None and len(plan.cost) != num_metrics:
+        raise PlanValidationError(
+            f"plan cost vector has {len(plan.cost)} entries, expected {num_metrics}"
+        )
+    if any(value < 0 for value in plan.cost):
+        raise PlanValidationError(f"plan cost vector has negative entries: {plan.cost}")
+    if plan.cardinality < 0:
+        raise PlanValidationError(f"plan cardinality is negative: {plan.cardinality}")
+
+
+def _validate_scan(plan: ScanPlan, query: Query) -> None:
+    if plan.table.index not in query.relations:
+        raise PlanValidationError(
+            f"scan references table index {plan.table.index} outside the query"
+        )
+    expected = query.table(plan.table.index)
+    if expected.cardinality != plan.table.cardinality:
+        raise PlanValidationError(
+            f"scan of {plan.table.name} uses cardinality {plan.table.cardinality} "
+            f"but the query's table has {expected.cardinality}"
+        )
+    if plan.rel != frozenset((plan.table.index,)):
+        raise PlanValidationError("scan plan rel set must contain exactly its table")
+    if plan.output_format is not plan.operator.output_format:
+        raise PlanValidationError("scan output format must match its operator")
+
+
+def _validate_join(plan: JoinPlan, library: Optional[OperatorLibrary]) -> None:
+    if plan.outer.rel & plan.inner.rel:
+        raise PlanValidationError(
+            "join children overlap on tables "
+            f"{sorted(plan.outer.rel & plan.inner.rel)}"
+        )
+    if plan.rel != plan.outer.rel | plan.inner.rel:
+        raise PlanValidationError("join rel set must be the union of its children")
+    if plan.output_format is not plan.operator.output_format:
+        raise PlanValidationError("join output format must match its operator")
+    if (
+        plan.operator.requires_materialized_inner
+        and plan.inner.output_format is not DataFormat.MATERIALIZED
+    ):
+        raise PlanValidationError(
+            f"{plan.operator.name} requires a materialized inner input but the "
+            f"inner plan produces {plan.inner.output_format}"
+        )
+    if library is not None:
+        applicable = library.applicable_join_operators(
+            plan.outer.output_format, plan.inner.output_format
+        )
+        if plan.operator not in applicable:
+            raise PlanValidationError(
+                f"operator {plan.operator.name} is not applicable to the "
+                "children's output formats under the given library"
+            )

@@ -1,0 +1,39 @@
+"""Query model substrate.
+
+A query in this reproduction follows the paper's formal model (Section 3): it
+is a set of tables that must be joined, together with the join-graph structure
+and join-predicate selectivities that the cost models need.  The submodules
+provide:
+
+``table``
+    Base-table metadata (cardinality, row width).
+``join_graph``
+    Join-graph topologies used in the evaluation (chain, cycle, star, clique)
+    and selectivity lookup between arbitrary table subsets.
+``query``
+    The :class:`~repro.query.query.Query` object tying tables and join graph
+    together.
+``catalog``
+    A catalog holding multiple named tables/queries, mimicking a database
+    catalog that an optimizer would consult.
+``generator``
+    Random query generation following Steinbrunn et al. (stratified table
+    cardinalities, selectivity model) and Bruno's MinMax selectivity method,
+    as used in Section 6.1 and the appendix of the paper.
+"""
+
+from repro.query.table import Table
+from repro.query.join_graph import GraphShape, JoinGraph
+from repro.query.query import Query
+from repro.query.catalog import Catalog
+from repro.query.generator import QueryGenerator, SelectivityModel
+
+__all__ = [
+    "Table",
+    "GraphShape",
+    "JoinGraph",
+    "Query",
+    "Catalog",
+    "QueryGenerator",
+    "SelectivityModel",
+]

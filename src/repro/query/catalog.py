@@ -1,0 +1,111 @@
+"""A simple database catalog.
+
+The optimizer proper only needs the per-query :class:`~repro.query.query.Query`
+object, but a realistic library also offers a catalog abstraction: a named
+collection of base tables from which queries can be assembled.  The examples
+use it to define small, readable scenarios (e.g. a cloud analytics schema).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.query.join_graph import JoinGraph
+from repro.query.query import Query
+from repro.query.table import DEFAULT_ROW_WIDTH_BYTES, Table
+
+
+class Catalog:
+    """Named collection of base tables with statistics.
+
+    Tables registered in a catalog are identified by name.  When a query is
+    built from a subset of catalog tables, the tables are re-indexed to the
+    contiguous range expected by :class:`Query`.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------- mutation
+    def add_table(
+        self,
+        name: str,
+        cardinality: float,
+        row_width: float = DEFAULT_ROW_WIDTH_BYTES,
+    ) -> None:
+        """Register a table; re-registering a name overwrites its statistics."""
+        if cardinality < 1:
+            raise ValueError(f"cardinality must be at least 1, got {cardinality}")
+        if row_width <= 0:
+            raise ValueError(f"row width must be positive, got {row_width}")
+        self._tables[name] = (float(cardinality), float(row_width))
+
+    def remove_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise KeyError(f"unknown table: {name}")
+        del self._tables[name]
+
+    # ------------------------------------------------------------ accessors
+    def has_table(self, name: str) -> bool:
+        """Return whether the catalog knows the table."""
+        return name in self._tables
+
+    def cardinality(self, name: str) -> float:
+        """Cardinality of a registered table."""
+        return self._tables[name][0]
+
+    def table_names(self) -> List[str]:
+        """All registered table names in insertion order."""
+        return list(self._tables)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of registered tables."""
+        return len(self._tables)
+
+    # -------------------------------------------------------- query building
+    def build_query(
+        self,
+        table_names: Sequence[str],
+        predicates: Iterable[Tuple[str, str, float]],
+        name: str = "query",
+    ) -> Query:
+        """Build a :class:`Query` joining the named tables.
+
+        Parameters
+        ----------
+        table_names:
+            Names of the tables to join; their order defines plan table
+            indices.
+        predicates:
+            ``(left_table, right_table, selectivity)`` triples describing the
+            join predicates.
+        name:
+            Name for the resulting query.
+        """
+        if not table_names:
+            raise ValueError("a query needs at least one table")
+        missing = [n for n in table_names if n not in self._tables]
+        if missing:
+            raise KeyError(f"unknown tables: {', '.join(missing)}")
+        if len(set(table_names)) != len(table_names):
+            raise ValueError("duplicate table names in query")
+
+        index_of = {table_name: i for i, table_name in enumerate(table_names)}
+        tables = []
+        for i, table_name in enumerate(table_names):
+            cardinality, row_width = self._tables[table_name]
+            tables.append(
+                Table(index=i, name=table_name, cardinality=cardinality, row_width=row_width)
+            )
+
+        graph = JoinGraph(len(table_names))
+        for left, right, selectivity in predicates:
+            if left not in index_of or right not in index_of:
+                raise KeyError(f"predicate references a table outside the query: {left}, {right}")
+            graph.add_edge(index_of[left], index_of[right], selectivity)
+        return Query(tables, graph, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Catalog(num_tables={self.num_tables})"

@@ -1,0 +1,193 @@
+"""Random query generation.
+
+Section 6.1 of the paper generates random queries "in the same way as in prior
+evaluations of query optimization algorithms": join-graph shapes chain, cycle
+and star; table cardinalities drawn by stratified sampling following the
+distribution of Steinbrunn et al.; and join-predicate selectivities following
+either the Steinbrunn model (main experiments) or Bruno's MinMax model
+(appendix, Figures 4 and 5).
+
+Steinbrunn et al. draw base-table cardinalities from strata
+``{10..100, 100..1,000, 1,000..10,000, 10,000..100,000}`` and predicate
+selectivities uniformly from ``[1 / max(card(left), card(right)), 1]``.
+Bruno's MinMax method instead picks the selectivity such that the join output
+cardinality lies (uniformly) between the cardinalities of the two inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+from repro.query.join_graph import GraphShape, JoinGraph
+from repro.query.query import Query
+from repro.query.table import DEFAULT_ROW_WIDTH_BYTES, Table
+
+#: Cardinality strata used for stratified sampling (Steinbrunn et al.).
+CARDINALITY_STRATA: Tuple[Tuple[float, float], ...] = (
+    (10.0, 100.0),
+    (100.0, 1_000.0),
+    (1_000.0, 10_000.0),
+    (10_000.0, 100_000.0),
+)
+
+
+class SelectivityModel(str, Enum):
+    """Join-predicate selectivity models used in the paper."""
+
+    #: Steinbrunn et al.: uniform in ``[1 / max(card_a, card_b), 1]``.
+    STEINBRUNN = "steinbrunn"
+    #: Bruno's MinMax: join output cardinality lies between the two inputs.
+    MINMAX = "minmax"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the random query generator."""
+
+    selectivity_model: SelectivityModel = SelectivityModel.STEINBRUNN
+    row_width: float = DEFAULT_ROW_WIDTH_BYTES
+    cardinality_strata: Tuple[Tuple[float, float], ...] = CARDINALITY_STRATA
+
+
+class QueryGenerator:
+    """Generates random queries for benchmark scenarios.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness.  Injecting the RNG makes every generated
+        workload reproducible from a seed.
+    config:
+        Generator configuration (selectivity model, cardinality strata).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random | None = None,
+        config: GeneratorConfig | None = None,
+    ) -> None:
+        self._rng = rng if rng is not None else random.Random()
+        self._config = config if config is not None else GeneratorConfig()
+
+    # ------------------------------------------------------------ primitives
+    def sample_cardinality(self) -> float:
+        """Draw one table cardinality via stratified sampling.
+
+        A stratum is chosen uniformly, then a cardinality is drawn uniformly
+        within the stratum.  This reproduces the heavy spread of table sizes
+        of the Steinbrunn setup without favouring the large strata.
+        """
+        low, high = self._rng.choice(self._config.cardinality_strata)
+        return float(self._rng.uniform(low, high))
+
+    def sample_cardinalities(self, count: int) -> List[float]:
+        """Draw ``count`` table cardinalities."""
+        return [self.sample_cardinality() for _ in range(count)]
+
+    def sample_selectivity(self, card_left: float, card_right: float) -> float:
+        """Draw a join-predicate selectivity for the configured model."""
+        if self._config.selectivity_model is SelectivityModel.STEINBRUNN:
+            return self._steinbrunn_selectivity(card_left, card_right)
+        return self._minmax_selectivity(card_left, card_right)
+
+    def _steinbrunn_selectivity(self, card_left: float, card_right: float) -> float:
+        """Uniform in ``[1 / max(card_left, card_right), 1]``."""
+        lower = 1.0 / max(card_left, card_right)
+        return float(self._rng.uniform(lower, 1.0))
+
+    def _minmax_selectivity(self, card_left: float, card_right: float) -> float:
+        """Bruno's MinMax: output cardinality uniform between the inputs.
+
+        The output cardinality of ``left join right`` is
+        ``card_left * card_right * selectivity``; choosing the output between
+        ``min`` and ``max`` of the inputs and solving for the selectivity
+        yields the returned value.
+        """
+        low = min(card_left, card_right)
+        high = max(card_left, card_right)
+        target_output = self._rng.uniform(low, high)
+        selectivity = target_output / (card_left * card_right)
+        return float(min(1.0, max(selectivity, 1e-12)))
+
+    # --------------------------------------------------------------- queries
+    def generate(
+        self,
+        num_tables: int,
+        shape: GraphShape = GraphShape.CHAIN,
+        name: str | None = None,
+    ) -> Query:
+        """Generate one random query.
+
+        Parameters
+        ----------
+        num_tables:
+            Number of tables the query joins.
+        shape:
+            Join-graph topology (chain, cycle, star or clique).
+        name:
+            Optional query name; a descriptive default is derived otherwise.
+        """
+        if num_tables < 1:
+            raise ValueError(f"a query needs at least one table, got {num_tables}")
+        cardinalities = self.sample_cardinalities(num_tables)
+        tables = [
+            Table(
+                index=i,
+                name=f"t{i}",
+                cardinality=cardinalities[i],
+                row_width=self._config.row_width,
+            )
+            for i in range(num_tables)
+        ]
+        selectivities = self._edge_selectivities(shape, cardinalities)
+        graph = JoinGraph.from_shape(shape, num_tables, selectivities)
+        query_name = name if name is not None else f"{shape.value}_{num_tables}"
+        return Query(tables, graph, name=query_name)
+
+    def generate_batch(
+        self,
+        count: int,
+        num_tables: int,
+        shape: GraphShape = GraphShape.CHAIN,
+    ) -> List[Query]:
+        """Generate ``count`` independent random queries."""
+        return [
+            self.generate(num_tables, shape, name=f"{shape.value}_{num_tables}_{i}")
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------ internals
+    def _edge_selectivities(
+        self, shape: GraphShape, cardinalities: Sequence[float]
+    ) -> List[float]:
+        """Selectivities for every edge of the given shape, in builder order."""
+        num_tables = len(cardinalities)
+        endpoints = self._edge_endpoints(shape, num_tables)
+        return [
+            self.sample_selectivity(cardinalities[a], cardinalities[b])
+            for a, b in endpoints
+        ]
+
+    @staticmethod
+    def _edge_endpoints(shape: GraphShape, num_tables: int) -> List[Tuple[int, int]]:
+        """Edge endpoints in the order the JoinGraph builders expect them."""
+        if shape is GraphShape.CHAIN:
+            return [(i, i + 1) for i in range(num_tables - 1)]
+        if shape is GraphShape.CYCLE:
+            edges = [(i, i + 1) for i in range(num_tables - 1)]
+            if num_tables >= 3:
+                edges.append((num_tables - 1, 0))
+            return edges
+        if shape is GraphShape.STAR:
+            return [(0, i) for i in range(1, num_tables)]
+        if shape is GraphShape.CLIQUE:
+            return [
+                (a, b) for a in range(num_tables) for b in range(a + 1, num_tables)
+            ]
+        raise ValueError(f"unknown graph shape: {shape}")

@@ -1,0 +1,234 @@
+"""Join graphs and selectivity lookup.
+
+The paper evaluates chain, cycle and star shaped join graphs (Section 6.1).
+A :class:`JoinGraph` stores, for every pair of tables connected by a join
+predicate, the selectivity of that predicate.  Pairs of tables that are not
+connected correspond to Cartesian products and have selectivity one.
+
+Selectivities between table *sets* (needed when joining intermediate results)
+are the product of the selectivities of all predicates crossing the two sets,
+which is the standard independence assumption used by textbook optimizers and
+by the cost models in the paper's lineage (Steinbrunn et al.).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+
+class GraphShape(str, Enum):
+    """Join-graph topologies used in the paper's evaluation."""
+
+    CHAIN = "chain"
+    CYCLE = "cycle"
+    STAR = "star"
+    CLIQUE = "clique"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _normalize_edge(a: int, b: int) -> Tuple[int, int]:
+    """Return the canonical (sorted) representation of an undirected edge."""
+    if a == b:
+        raise ValueError(f"self joins are not supported (table {a})")
+    return (a, b) if a < b else (b, a)
+
+
+class JoinGraph:
+    """Undirected join graph with per-edge selectivities.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of tables in the query this graph belongs to.  Table indices
+        range over ``0 .. num_tables - 1``.
+    edges:
+        Mapping from table-index pairs to the selectivity of the join
+        predicate connecting them.  Selectivities must lie in ``(0, 1]``.
+    """
+
+    def __init__(
+        self,
+        num_tables: int,
+        edges: Dict[Tuple[int, int], float] | None = None,
+    ) -> None:
+        if num_tables < 1:
+            raise ValueError(f"a query needs at least one table, got {num_tables}")
+        self._num_tables = num_tables
+        self._edges: Dict[Tuple[int, int], float] = {}
+        for (a, b), selectivity in (edges or {}).items():
+            self.add_edge(a, b, selectivity)
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(self, a: int, b: int, selectivity: float) -> None:
+        """Add (or overwrite) a join predicate between tables ``a`` and ``b``."""
+        edge = _normalize_edge(a, b)
+        for endpoint in edge:
+            if not 0 <= endpoint < self._num_tables:
+                raise ValueError(
+                    f"table index {endpoint} out of range for {self._num_tables} tables"
+                )
+        if not 0 < selectivity <= 1:
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        self._edges[edge] = selectivity
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Return whether a join predicate connects tables ``a`` and ``b``."""
+        return _normalize_edge(a, b) in self._edges
+
+    def edge_selectivity(self, a: int, b: int) -> float:
+        """Selectivity of the predicate between ``a`` and ``b`` (1.0 if absent)."""
+        return self._edges.get(_normalize_edge(a, b), 1.0)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(a, b, selectivity)`` triples."""
+        for (a, b), selectivity in sorted(self._edges.items()):
+            yield a, b, selectivity
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables covered by this graph."""
+        return self._num_tables
+
+    @property
+    def num_edges(self) -> int:
+        """Number of join predicates."""
+        return len(self._edges)
+
+    # ----------------------------------------------------------- selectivity
+    def selectivity_between(
+        self, left: Iterable[int] | FrozenSet[int], right: Iterable[int] | FrozenSet[int]
+    ) -> float:
+        """Combined selectivity of all predicates crossing ``left`` and ``right``.
+
+        Uses the standard independence assumption: the combined selectivity is
+        the product of the individual predicate selectivities.  Returns 1.0
+        (a Cartesian product) when no predicate crosses the two sets.
+        """
+        left_set = frozenset(left)
+        right_set = frozenset(right)
+        if left_set & right_set:
+            raise ValueError("table sets must be disjoint to compute a join selectivity")
+        selectivity = 1.0
+        for (a, b), edge_selectivity in self._edges.items():
+            crosses = (a in left_set and b in right_set) or (
+                a in right_set and b in left_set
+            )
+            if crosses:
+                selectivity *= edge_selectivity
+        return selectivity
+
+    def neighbors(self, table: int) -> FrozenSet[int]:
+        """Return the set of tables connected to ``table`` by a predicate."""
+        result = set()
+        for a, b in self._edges:
+            if a == table:
+                result.add(b)
+            elif b == table:
+                result.add(a)
+        return frozenset(result)
+
+    def is_connected_subset(self, tables: Iterable[int]) -> bool:
+        """Return whether the induced subgraph on ``tables`` is connected.
+
+        Single-table subsets are connected by definition.  Used by the DP
+        baseline when restricting enumeration to connected subsets.
+        """
+        table_set = set(tables)
+        if not table_set:
+            return False
+        if len(table_set) == 1:
+            return True
+        start = next(iter(table_set))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor in table_set and neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen == table_set
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def chain(cls, num_tables: int, selectivities: Iterable[float]) -> "JoinGraph":
+        """Chain graph: table ``i`` joins table ``i + 1``."""
+        graph = cls(num_tables)
+        values = list(selectivities)
+        expected = max(0, num_tables - 1)
+        if len(values) != expected:
+            raise ValueError(f"chain of {num_tables} tables needs {expected} selectivities")
+        for i, selectivity in enumerate(values):
+            graph.add_edge(i, i + 1, selectivity)
+        return graph
+
+    @classmethod
+    def cycle(cls, num_tables: int, selectivities: Iterable[float]) -> "JoinGraph":
+        """Cycle graph: a chain plus an edge closing the loop."""
+        graph = cls(num_tables)
+        values = list(selectivities)
+        expected = num_tables if num_tables >= 3 else max(0, num_tables - 1)
+        if len(values) != expected:
+            raise ValueError(f"cycle of {num_tables} tables needs {expected} selectivities")
+        for i in range(num_tables - 1):
+            graph.add_edge(i, i + 1, values[i])
+        if num_tables >= 3:
+            graph.add_edge(num_tables - 1, 0, values[num_tables - 1])
+        return graph
+
+    @classmethod
+    def star(cls, num_tables: int, selectivities: Iterable[float]) -> "JoinGraph":
+        """Star graph: table 0 is the hub joined with every other table."""
+        graph = cls(num_tables)
+        values = list(selectivities)
+        expected = max(0, num_tables - 1)
+        if len(values) != expected:
+            raise ValueError(f"star of {num_tables} tables needs {expected} selectivities")
+        for i, selectivity in enumerate(values, start=1):
+            graph.add_edge(0, i, selectivity)
+        return graph
+
+    @classmethod
+    def clique(cls, num_tables: int, selectivities: Iterable[float]) -> "JoinGraph":
+        """Clique graph: every pair of tables is connected."""
+        graph = cls(num_tables)
+        values = list(selectivities)
+        expected = num_tables * (num_tables - 1) // 2
+        if len(values) != expected:
+            raise ValueError(f"clique of {num_tables} tables needs {expected} selectivities")
+        position = 0
+        for a in range(num_tables):
+            for b in range(a + 1, num_tables):
+                graph.add_edge(a, b, values[position])
+                position += 1
+        return graph
+
+    @classmethod
+    def from_shape(
+        cls, shape: GraphShape, num_tables: int, selectivities: Iterable[float]
+    ) -> "JoinGraph":
+        """Dispatch to the named builder for ``shape``."""
+        builders = {
+            GraphShape.CHAIN: cls.chain,
+            GraphShape.CYCLE: cls.cycle,
+            GraphShape.STAR: cls.star,
+            GraphShape.CLIQUE: cls.clique,
+        }
+        return builders[shape](num_tables, selectivities)
+
+    @staticmethod
+    def edge_count_for_shape(shape: GraphShape, num_tables: int) -> int:
+        """Number of predicates a graph of ``shape`` over ``num_tables`` has."""
+        if shape is GraphShape.CHAIN or shape is GraphShape.STAR:
+            return max(0, num_tables - 1)
+        if shape is GraphShape.CYCLE:
+            return num_tables if num_tables >= 3 else max(0, num_tables - 1)
+        if shape is GraphShape.CLIQUE:
+            return num_tables * (num_tables - 1) // 2
+        raise ValueError(f"unknown graph shape: {shape}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JoinGraph(num_tables={self._num_tables}, num_edges={self.num_edges})"

@@ -1,0 +1,101 @@
+"""The query object: a set of tables plus their join graph.
+
+This matches the paper's formal model (Section 3): a query is a set of tables
+to be joined.  The join graph and selectivities are carried along because the
+cost models need them to estimate intermediate-result cardinalities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from repro.query.join_graph import JoinGraph
+from repro.query.table import Table
+
+
+class Query:
+    """A join query over a set of base tables.
+
+    Parameters
+    ----------
+    tables:
+        The base tables, ordered by their ``index`` attribute; table ``i`` in
+        this sequence must have ``index == i``.
+    join_graph:
+        Join-predicate structure and selectivities over those tables.
+    name:
+        Optional human-readable name (used in benchmark reports).
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[Table],
+        join_graph: JoinGraph,
+        name: str = "query",
+    ) -> None:
+        if not tables:
+            raise ValueError("a query needs at least one table")
+        for position, table in enumerate(tables):
+            if table.index != position:
+                raise ValueError(
+                    f"table at position {position} has index {table.index}; "
+                    "tables must be ordered by index"
+                )
+        if join_graph.num_tables != len(tables):
+            raise ValueError(
+                f"join graph covers {join_graph.num_tables} tables but the "
+                f"query has {len(tables)}"
+            )
+        self._tables: List[Table] = list(tables)
+        self._join_graph = join_graph
+        self.name = name
+        self._all_relations: FrozenSet[int] = frozenset(range(len(tables)))
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def tables(self) -> Sequence[Table]:
+        """The base tables of the query, ordered by index."""
+        return tuple(self._tables)
+
+    @property
+    def join_graph(self) -> JoinGraph:
+        """The join graph of the query."""
+        return self._join_graph
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables joined by the query."""
+        return len(self._tables)
+
+    @property
+    def relations(self) -> FrozenSet[int]:
+        """The full set of table indices, i.e. the query's ``rel`` set."""
+        return self._all_relations
+
+    def table(self, index: int) -> Table:
+        """Return the table with the given index."""
+        return self._tables[index]
+
+    def cardinality(self, index: int) -> float:
+        """Cardinality of the table with the given index."""
+        return self._tables[index].cardinality
+
+    # -------------------------------------------------------- cost substrate
+    def selectivity_between(
+        self, left: Iterable[int] | FrozenSet[int], right: Iterable[int] | FrozenSet[int]
+    ) -> float:
+        """Combined selectivity of predicates crossing two disjoint table sets."""
+        return self._join_graph.selectivity_between(left, right)
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics used in benchmark reports."""
+        cardinalities = [t.cardinality for t in self._tables]
+        return {
+            "num_tables": float(self.num_tables),
+            "num_predicates": float(self._join_graph.num_edges),
+            "min_cardinality": min(cardinalities),
+            "max_cardinality": max(cardinalities),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query(name={self.name!r}, num_tables={self.num_tables})"

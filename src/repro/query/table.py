@@ -1,0 +1,64 @@
+"""Base-table metadata.
+
+Tables are the leaves of every query plan.  The cost models only need a small
+amount of statistical information about each table: its cardinality (number of
+rows) and the average row width in bytes, from which a page count is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default page size used to convert row counts into page counts.  The exact
+#: value does not matter for the reproduction (all algorithms share the same
+#: cost substrate); 8 KiB matches common database defaults.
+PAGE_SIZE_BYTES = 8192
+
+#: Default average row width in bytes when a table does not specify one.
+DEFAULT_ROW_WIDTH_BYTES = 100
+
+
+@dataclass(frozen=True)
+class Table:
+    """A base table referenced by a query.
+
+    Parameters
+    ----------
+    index:
+        Position of the table inside its query (0-based).  Plans identify
+        tables by this index, so it must be unique within a query.
+    name:
+        Human-readable table name, used for plan pretty-printing.
+    cardinality:
+        Number of rows in the table.  Must be at least one.
+    row_width:
+        Average row width in bytes.
+    """
+
+    index: int
+    name: str
+    cardinality: float
+    row_width: float = field(default=DEFAULT_ROW_WIDTH_BYTES)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"table index must be non-negative, got {self.index}")
+        if self.cardinality < 1:
+            raise ValueError(
+                f"table cardinality must be at least 1, got {self.cardinality}"
+            )
+        if self.row_width <= 0:
+            raise ValueError(f"row width must be positive, got {self.row_width}")
+
+    @property
+    def bytes(self) -> float:
+        """Total size of the table in bytes."""
+        return self.cardinality * self.row_width
+
+    @property
+    def pages(self) -> float:
+        """Number of pages occupied by the table (at least one)."""
+        return max(1.0, self.bytes / PAGE_SIZE_BYTES)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{self.cardinality:g} rows]"

@@ -1,0 +1,6 @@
+"""Small shared utilities (seeded RNG streams, timers)."""
+
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.timer import Stopwatch
+
+__all__ = ["derive_rng", "derive_seed", "Stopwatch"]

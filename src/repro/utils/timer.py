@@ -1,0 +1,25 @@
+"""A small stopwatch used by the anytime evaluation harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Measures elapsed wall-clock time since construction or the last reset."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def reset(self) -> None:
+        """Restart the stopwatch."""
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction or the last reset."""
+        return time.perf_counter() - self._start
+
+    def exceeded(self, budget: float) -> bool:
+        """Return whether more than ``budget`` seconds have elapsed."""
+        return self.elapsed >= budget

@@ -1,0 +1,63 @@
+"""Unit tests for repro.cost.cardinality."""
+
+import pytest
+
+from repro.cost.cardinality import CardinalityEstimator
+from repro.plans.operators import ScanAlgorithm, ScanOperator
+
+
+@pytest.fixture
+def estimator(chain_query_4):
+    return CardinalityEstimator(chain_query_4)
+
+
+class TestScanCardinality:
+    def test_full_scan_returns_table_cardinality(self, estimator, chain_query_4):
+        scan_op = ScanOperator("seq")
+        table = chain_query_4.table(1)
+        assert estimator.scan_cardinality(table, scan_op) == table.cardinality
+
+    def test_sampling_scan_scales_cardinality(self, estimator, chain_query_4):
+        sample_op = ScanOperator("sample", ScanAlgorithm.SAMPLE, sampling_rate=0.1)
+        table = chain_query_4.table(1)
+        assert estimator.scan_cardinality(table, sample_op) == pytest.approx(
+            table.cardinality * 0.1
+        )
+
+    def test_scan_cardinality_at_least_one(self, estimator, chain_query_4):
+        tiny_sample = ScanOperator("sample", ScanAlgorithm.SAMPLE, sampling_rate=0.001)
+        table = chain_query_4.table(0)  # 100 rows * 0.001 = 0.1 → floored to 1
+        assert estimator.scan_cardinality(table, tiny_sample) == 1.0
+
+
+class TestJoinCardinality:
+    def test_connected_join_uses_selectivity(self, estimator, chain_query_4):
+        # Tables 0 and 1 are connected with selectivity 0.01.
+        result = estimator.join_cardinality(
+            frozenset({0}), frozenset({1}), 100.0, 10_000.0
+        )
+        assert result == pytest.approx(100 * 10_000 * 0.01)
+
+    def test_cartesian_product_without_predicate(self, estimator):
+        # Tables 0 and 2 are not directly connected in the chain.
+        result = estimator.join_cardinality(frozenset({0}), frozenset({2}), 100.0, 500.0)
+        assert result == pytest.approx(100 * 500)
+
+    def test_multiple_predicates_multiply(self, cycle_query_6):
+        estimator = CardinalityEstimator(cycle_query_6)
+        # Joining {0,1,2} with {3,4,5} crosses edges (2,3) and (5,0).
+        result = estimator.join_cardinality(
+            frozenset({0, 1, 2}), frozenset({3, 4, 5}), 1_000.0, 1_000.0
+        )
+        assert result == pytest.approx(1_000 * 1_000 * 0.002 * 0.02)
+
+    def test_join_cardinality_at_least_one(self, estimator):
+        result = estimator.join_cardinality(frozenset({0}), frozenset({1}), 1.0, 1.0)
+        assert result >= 1.0
+
+    def test_overlapping_sets_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.join_cardinality(frozenset({0, 1}), frozenset({1, 2}), 10.0, 10.0)
+
+    def test_query_property(self, estimator, chain_query_4):
+        assert estimator.query is chain_query_4

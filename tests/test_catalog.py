@@ -1,0 +1,82 @@
+"""Unit tests for repro.query.catalog."""
+
+import pytest
+
+from repro.query.catalog import Catalog
+
+
+@pytest.fixture
+def sample_catalog():
+    catalog = Catalog()
+    catalog.add_table("customers", 10_000, row_width=150)
+    catalog.add_table("orders", 100_000, row_width=80)
+    catalog.add_table("lineitems", 500_000, row_width=120)
+    return catalog
+
+
+class TestCatalogTables:
+    def test_add_and_lookup(self, sample_catalog):
+        assert sample_catalog.has_table("orders")
+        assert sample_catalog.cardinality("orders") == 100_000
+        assert sample_catalog.num_tables == 3
+
+    def test_table_names_in_insertion_order(self, sample_catalog):
+        assert sample_catalog.table_names() == ["customers", "orders", "lineitems"]
+
+    def test_reregister_overwrites(self, sample_catalog):
+        sample_catalog.add_table("orders", 42)
+        assert sample_catalog.cardinality("orders") == 42
+        assert sample_catalog.num_tables == 3
+
+    def test_remove_table(self, sample_catalog):
+        sample_catalog.remove_table("orders")
+        assert not sample_catalog.has_table("orders")
+        with pytest.raises(KeyError):
+            sample_catalog.remove_table("orders")
+
+    def test_invalid_statistics_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError):
+            catalog.add_table("bad", 0)
+        with pytest.raises(ValueError):
+            catalog.add_table("bad", 10, row_width=0)
+
+
+class TestQueryBuilding:
+    def test_build_query(self, sample_catalog):
+        query = sample_catalog.build_query(
+            ["customers", "orders", "lineitems"],
+            [("customers", "orders", 1e-4), ("orders", "lineitems", 1e-5)],
+            name="q1",
+        )
+        assert query.num_tables == 3
+        assert query.name == "q1"
+        assert query.table(0).name == "customers"
+        assert query.selectivity_between({0}, {1}) == pytest.approx(1e-4)
+
+    def test_unknown_table_rejected(self, sample_catalog):
+        with pytest.raises(KeyError):
+            sample_catalog.build_query(["customers", "nope"], [])
+
+    def test_duplicate_table_rejected(self, sample_catalog):
+        with pytest.raises(ValueError):
+            sample_catalog.build_query(["orders", "orders"], [])
+
+    def test_predicate_outside_query_rejected(self, sample_catalog):
+        with pytest.raises(KeyError):
+            sample_catalog.build_query(
+                ["customers", "orders"], [("orders", "lineitems", 0.1)]
+            )
+
+    def test_empty_query_rejected(self, sample_catalog):
+        with pytest.raises(ValueError):
+            sample_catalog.build_query([], [])
+
+    def test_query_tables_reindexed(self, sample_catalog):
+        query = sample_catalog.build_query(
+            ["lineitems", "customers"], [("lineitems", "customers", 0.01)]
+        )
+        assert query.table(0).name == "lineitems"
+        assert query.table(1).name == "customers"
+        assert query.table(0).index == 0
+        assert query.table(1).index == 1

@@ -1,0 +1,59 @@
+"""Tests for the benchmark CLI (repro.bench.cli)."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main, run
+
+
+class TestParser:
+    def test_known_figures_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1", "--scale", "smoke"])
+        assert args.figure == "figure1"
+        assert args.scale == "smoke"
+
+    def test_unknown_figure_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure42"])
+
+    def test_unknown_scale_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure1", "--scale", "enormous"])
+
+    def test_default_scale(self):
+        args = build_parser().parse_args(["figure2"])
+        assert args.scale == "default"
+
+
+class TestRun:
+    def test_figure3_smoke_report(self):
+        report = run(["figure3", "--scale", "smoke"])
+        assert "path length" in report
+        assert "chain" in report
+
+    def test_figure3_seed_override(self):
+        report = run(["figure3", "--scale", "smoke", "--seed", "123"])
+        assert "Figure 3 statistics" in report
+
+    def test_main_prints_report(self, capsys, monkeypatch):
+        # Shrink the smoke grid further by patching the spec constructor so the
+        # CLI test stays fast.
+        from repro.bench import figures
+        from repro.bench.scenario import ScenarioScale
+
+        original = figures.figure8_spec
+
+        def tiny_spec(scale=ScenarioScale.DEFAULT):
+            return original(ScenarioScale.SMOKE).with_scale_overrides(
+                table_counts=(4,), num_test_cases=1, time_budget=0.1,
+                checkpoints=(0.05, 0.1),
+            )
+
+        monkeypatch.setitem(figures.FIGURE_SPECS, "figure8", tiny_spec)
+        exit_code = main(["figure8", "--scale", "smoke"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Scenario: figure8" in output
+        assert "Winners per cell" in output

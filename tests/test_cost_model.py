@@ -1,0 +1,133 @@
+"""Unit tests for repro.cost.model."""
+
+import random
+
+import pytest
+
+from repro.cost.metrics import CostModelConfig, TimeMetric
+from repro.cost.model import MultiObjectiveCostModel, sample_metric_names
+from repro.pareto.dominance import dominates
+from repro.plans.operators import OperatorLibrary
+
+
+class TestConstruction:
+    def test_default_metrics_are_paper_metrics(self, chain_query_4):
+        model = MultiObjectiveCostModel(chain_query_4)
+        assert model.metric_names == ("time", "buffer", "disk")
+        assert model.num_metrics == 3
+
+    def test_metric_instances_accepted(self, chain_query_4):
+        model = MultiObjectiveCostModel(chain_query_4, metrics=(TimeMetric(),))
+        assert model.metric_names == ("time",)
+
+    def test_empty_metrics_rejected(self, chain_query_4):
+        with pytest.raises(ValueError):
+            MultiObjectiveCostModel(chain_query_4, metrics=())
+
+    def test_custom_library_and_config(self, chain_query_4):
+        library = OperatorLibrary.minimal()
+        config = CostModelConfig(bytes_per_row=10.0)
+        model = MultiObjectiveCostModel(
+            chain_query_4, metrics=("time",), library=library, config=config
+        )
+        assert model.library is library
+        assert model.config is config
+
+
+class TestPlanBuilding:
+    def test_scan_cost_vector_arity(self, chain_model):
+        scan = chain_model.default_scan(0)
+        assert len(scan.cost) == 3
+        assert all(value >= 0 for value in scan.cost)
+
+    def test_join_cost_is_children_plus_node(self, chain_model):
+        outer = chain_model.default_scan(0)
+        inner = chain_model.default_scan(1)
+        join = chain_model.default_join(outer, inner)
+        for metric_index in range(chain_model.num_metrics):
+            assert join.cost[metric_index] >= (
+                outer.cost[metric_index] + inner.cost[metric_index]
+            )
+
+    def test_join_cardinality_uses_selectivity(self, chain_model, chain_query_4):
+        outer = chain_model.default_scan(0)
+        inner = chain_model.default_scan(1)
+        join = chain_model.default_join(outer, inner)
+        expected = (
+            chain_query_4.cardinality(0) * chain_query_4.cardinality(1) * 0.01
+        )
+        assert join.cardinality == pytest.approx(expected)
+
+    def test_principle_of_optimality(self, chain_model):
+        """Replacing a sub-plan by a dominating one never worsens the parent."""
+        scan_variants = [
+            chain_model.make_scan(1, op) for op in chain_model.scan_operators(1)
+        ]
+        inner = chain_model.default_scan(2)
+        # Pick two variants where one dominates the other.
+        dominated_pairs = [
+            (a, b)
+            for a in scan_variants
+            for b in scan_variants
+            if a is not b and dominates(a.cost, b.cost)
+        ]
+        assert dominated_pairs, "expected at least one dominated scan variant"
+        better, worse = dominated_pairs[0]
+        operator = chain_model.join_operators(better, inner)[0]
+        join_better = chain_model.make_join(better, inner, operator)
+        join_worse = chain_model.make_join(worse, inner, operator)
+        assert dominates(join_better.cost, join_worse.cost)
+
+    def test_operator_shortcuts(self, chain_model):
+        scan_ops = chain_model.scan_operators(0)
+        assert len(scan_ops) == len(chain_model.library.scan_operators)
+        outer = chain_model.default_scan(0)
+        inner = chain_model.default_scan(1)
+        join_ops = chain_model.join_operators(outer, inner)
+        assert all(not op.requires_materialized_inner for op in join_ops)
+
+    def test_operator_variety_creates_cost_tradeoffs(self, chain_model):
+        """Different operators for the same join realize different tradeoffs.
+
+        This is the property motivating Algorithm 3: one join order can cover
+        several Pareto-optimal cost vectors via operator choices.
+        """
+        outer = chain_model.default_scan(3)
+        inner = chain_model.default_scan(1)  # large build side (10,000 rows)
+        costs = [
+            chain_model.make_join(outer, inner, op).cost
+            for op in chain_model.join_operators(outer, inner)
+        ]
+        non_dominated = [
+            cost
+            for cost in costs
+            if not any(dominates(other, cost) and other != cost for other in costs)
+        ]
+        assert len(set(non_dominated)) >= 2
+
+
+class TestMetricSampling:
+    def test_sample_metric_names_size(self):
+        rng = random.Random(3)
+        names = sample_metric_names(2, rng)
+        assert len(names) == 2
+        assert len(set(names)) == 2
+
+    def test_sample_metric_names_full_pool(self):
+        rng = random.Random(3)
+        assert set(sample_metric_names(3, rng)) == {"time", "buffer", "disk"}
+
+    def test_sample_metric_names_invalid_count(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            sample_metric_names(0, rng)
+        with pytest.raises(ValueError):
+            sample_metric_names(4, rng)
+
+    def test_sampling_is_uniformish(self):
+        rng = random.Random(5)
+        counts = {"time": 0, "buffer": 0, "disk": 0}
+        for _ in range(300):
+            for name in sample_metric_names(2, rng):
+                counts[name] += 1
+        assert all(count > 100 for count in counts.values())

@@ -1,0 +1,72 @@
+"""Unit tests for repro.pareto.dominance."""
+
+import pytest
+
+from repro.pareto.dominance import approx_dominates, dominates, strictly_dominates
+
+
+class TestDominates:
+    def test_lower_everywhere(self):
+        assert dominates((1.0, 2.0), (2.0, 3.0))
+
+    def test_equal_vectors_dominate_each_other(self):
+        assert dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_mixed_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 5.0), (2.0, 3.0))
+        assert not dominates((2.0, 3.0), (1.0, 5.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestStrictlyDominates:
+    def test_strictly_lower_everywhere(self):
+        assert strictly_dominates((1.0, 2.0), (2.0, 3.0))
+
+    def test_equal_vectors_do_not_strictly_dominate(self):
+        assert not strictly_dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_lower_in_one_metric_equal_elsewhere(self):
+        assert strictly_dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_asymmetry(self):
+        assert strictly_dominates((1.0, 1.0), (2.0, 2.0))
+        assert not strictly_dominates((2.0, 2.0), (1.0, 1.0))
+
+    def test_single_metric_reduces_to_less_than(self):
+        assert strictly_dominates((1.0,), (2.0,))
+        assert not strictly_dominates((2.0,), (1.0,))
+        assert not strictly_dominates((1.0,), (1.0,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            strictly_dominates((1.0,), (1.0, 2.0))
+
+
+class TestApproxDominates:
+    def test_alpha_one_equals_dominates(self):
+        assert approx_dominates((1.0, 2.0), (1.0, 2.0), 1.0)
+        assert not approx_dominates((1.1, 2.0), (1.0, 2.0), 1.0)
+
+    def test_within_factor(self):
+        assert approx_dominates((2.0, 2.0), (1.0, 1.0), 2.0)
+        assert not approx_dominates((2.1, 2.0), (1.0, 1.0), 2.0)
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            approx_dominates((1.0,), (1.0,), 0.9)
+
+    def test_zero_reference_handled(self):
+        # alpha * 0 == 0, so only a zero cost can alpha-dominate a zero cost.
+        assert approx_dominates((0.0,), (0.0,), 2.0)
+        assert not approx_dominates((0.5,), (0.0,), 2.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            approx_dominates((1.0,), (1.0, 2.0), 2.0)
+
+    def test_transitivity_of_dominance_sample(self):
+        a, b, c = (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)
+        assert dominates(a, b) and dominates(b, c) and dominates(a, c)

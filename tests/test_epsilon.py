@@ -1,0 +1,78 @@
+"""Unit tests for repro.pareto.epsilon (approximation-error indicator)."""
+
+import pytest
+
+from repro.pareto.epsilon import (
+    approximation_error,
+    approximation_error_of_plans,
+    is_alpha_approximation,
+)
+
+
+class TestApproximationError:
+    def test_perfect_coverage_is_one(self):
+        reference = [(1.0, 4.0), (4.0, 1.0)]
+        assert approximation_error(reference, reference) == 1.0
+
+    def test_superset_coverage_is_one(self):
+        produced = [(1.0, 4.0), (4.0, 1.0), (2.0, 2.0)]
+        reference = [(1.0, 4.0), (4.0, 1.0)]
+        assert approximation_error(produced, reference) == 1.0
+
+    def test_factor_two_error(self):
+        produced = [(2.0, 2.0)]
+        reference = [(1.0, 1.0)]
+        assert approximation_error(produced, reference) == pytest.approx(2.0)
+
+    def test_worst_reference_point_determines_error(self):
+        produced = [(1.0, 1.0)]
+        reference = [(1.0, 1.0), (0.25, 4.0)]
+        # The produced point covers (1,1) with factor 1 but (0.25,4) only with
+        # factor 4 in the first metric.
+        assert approximation_error(produced, reference) == pytest.approx(4.0)
+
+    def test_best_produced_point_is_used(self):
+        produced = [(8.0, 8.0), (1.5, 1.5)]
+        reference = [(1.0, 1.0)]
+        assert approximation_error(produced, reference) == pytest.approx(1.5)
+
+    def test_error_never_below_one(self):
+        produced = [(0.1, 0.1)]
+        reference = [(1.0, 1.0)]
+        assert approximation_error(produced, reference) == 1.0
+
+    def test_empty_produced_set_is_infinite(self):
+        assert approximation_error([], [(1.0, 1.0)]) == float("inf")
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            approximation_error([(1.0, 1.0)], [])
+
+    def test_plans_wrapper(self, chain_model):
+        scans = [chain_model.make_scan(0, op) for op in chain_model.scan_operators(0)]
+        reference = [scan.cost for scan in scans]
+        assert approximation_error_of_plans(scans, reference) == 1.0
+
+
+class TestIsAlphaApproximation:
+    def test_exact_cover(self):
+        reference = [(1.0, 2.0)]
+        assert is_alpha_approximation(reference, reference, 1.0)
+
+    def test_cover_within_alpha(self):
+        assert is_alpha_approximation([(2.0, 2.0)], [(1.0, 1.0)], 2.0)
+        assert not is_alpha_approximation([(2.0, 2.0)], [(1.0, 1.0)], 1.5)
+
+    def test_empty_produced_never_covers(self):
+        assert not is_alpha_approximation([], [(1.0, 1.0)], 100.0)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            is_alpha_approximation([(1.0,)], [], 2.0)
+
+    def test_consistency_with_error(self):
+        produced = [(3.0, 1.0), (1.0, 3.0)]
+        reference = [(1.0, 1.0), (2.0, 0.5)]
+        error = approximation_error(produced, reference)
+        assert is_alpha_approximation(produced, reference, error + 1e-9)
+        assert not is_alpha_approximation(produced, reference, error - 1e-6)

@@ -1,0 +1,74 @@
+"""Tests for the weighted-sum and random-sampling sanity baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines.random_sampling import RandomSamplingOptimizer
+from repro.baselines.weighted_sum import WeightedSumOptimizer
+from repro.pareto.dominance import strictly_dominates
+from repro.plans.validation import validate_plan
+
+
+class TestRandomSampling:
+    def test_invalid_configuration_rejected(self, chain_model):
+        with pytest.raises(ValueError):
+            RandomSamplingOptimizer(chain_model, plans_per_step=0)
+
+    def test_step_produces_valid_plans(self, chain_model, chain_query_4):
+        optimizer = RandomSamplingOptimizer(chain_model, rng=random.Random(1))
+        optimizer.step()
+        frontier = optimizer.frontier()
+        assert frontier
+        for plan in frontier:
+            validate_plan(plan, chain_query_4, chain_model.library, chain_model.num_metrics)
+
+    def test_archive_non_dominated(self, chain_model):
+        optimizer = RandomSamplingOptimizer(chain_model, rng=random.Random(2))
+        optimizer.run(max_steps=5)
+        frontier = optimizer.frontier()
+        for first in frontier:
+            for second in frontier:
+                if first is not second:
+                    assert not strictly_dominates(first.cost, second.cost)
+
+    def test_statistics_count_sampled_plans(self, chain_model):
+        optimizer = RandomSamplingOptimizer(
+            chain_model, rng=random.Random(3), plans_per_step=4
+        )
+        optimizer.run(max_steps=2)
+        assert optimizer.statistics.steps == 2
+        assert optimizer.statistics.plans_built >= 8
+
+
+class TestWeightedSum:
+    def test_step_produces_valid_plans(self, chain_model, chain_query_4):
+        optimizer = WeightedSumOptimizer(chain_model, rng=random.Random(1))
+        optimizer.step()
+        frontier = optimizer.frontier()
+        assert frontier
+        for plan in frontier:
+            validate_plan(plan, chain_query_4, chain_model.library, chain_model.num_metrics)
+
+    def test_weights_are_normalized(self, chain_model):
+        optimizer = WeightedSumOptimizer(chain_model, rng=random.Random(5))
+        for _ in range(10):
+            weights = optimizer._random_weights()
+            assert len(weights) == chain_model.num_metrics
+            assert sum(weights) == pytest.approx(1.0)
+            assert all(weight > 0 for weight in weights)
+
+    def test_scalarized_climb_improves_scalar_cost(self, chain_model):
+        optimizer = WeightedSumOptimizer(chain_model, rng=random.Random(6))
+        optimizer.run(max_steps=3)
+        assert optimizer.statistics.plans_built > 0
+        assert optimizer.frontier()
+
+    def test_archive_non_dominated(self, chain_model):
+        optimizer = WeightedSumOptimizer(chain_model, rng=random.Random(7))
+        optimizer.run(max_steps=5)
+        frontier = optimizer.frontier()
+        for first in frontier:
+            for second in frontier:
+                if first is not second:
+                    assert not strictly_dominates(first.cost, second.cost)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.query.generator."""
+
+import random
+
+import pytest
+
+from repro.query.generator import (
+    CARDINALITY_STRATA,
+    GeneratorConfig,
+    QueryGenerator,
+    SelectivityModel,
+)
+from repro.query.join_graph import GraphShape, JoinGraph
+
+
+@pytest.fixture
+def generator(rng):
+    return QueryGenerator(rng=rng)
+
+
+class TestCardinalitySampling:
+    def test_cardinality_within_strata(self, generator):
+        for _ in range(200):
+            cardinality = generator.sample_cardinality()
+            assert any(low <= cardinality <= high for low, high in CARDINALITY_STRATA)
+
+    def test_all_strata_hit(self, generator):
+        samples = generator.sample_cardinalities(500)
+        for low, high in CARDINALITY_STRATA:
+            assert any(low <= value <= high for value in samples), (low, high)
+
+    def test_batch_length(self, generator):
+        assert len(generator.sample_cardinalities(17)) == 17
+
+
+class TestSelectivitySampling:
+    def test_steinbrunn_range(self, generator):
+        for _ in range(200):
+            selectivity = generator.sample_selectivity(1_000, 50_000)
+            assert 1.0 / 50_000 <= selectivity <= 1.0
+
+    def test_minmax_output_between_inputs(self, rng):
+        generator = QueryGenerator(
+            rng=rng,
+            config=GeneratorConfig(selectivity_model=SelectivityModel.MINMAX),
+        )
+        for _ in range(200):
+            card_a, card_b = 1_000.0, 50_000.0
+            selectivity = generator.sample_selectivity(card_a, card_b)
+            output = card_a * card_b * selectivity
+            assert min(card_a, card_b) - 1e-6 <= output <= max(card_a, card_b) + 1e-6
+
+    def test_minmax_selectivity_capped_at_one(self, rng):
+        generator = QueryGenerator(
+            rng=rng,
+            config=GeneratorConfig(selectivity_model=SelectivityModel.MINMAX),
+        )
+        # With tiny tables the solved selectivity could exceed one; it is capped.
+        for _ in range(50):
+            assert generator.sample_selectivity(1.0, 1.0) <= 1.0
+
+
+class TestQueryGeneration:
+    @pytest.mark.parametrize("shape", list(GraphShape))
+    def test_shapes_and_sizes(self, generator, shape):
+        query = generator.generate(num_tables=6, shape=shape)
+        assert query.num_tables == 6
+        expected_edges = JoinGraph.edge_count_for_shape(shape, 6)
+        assert query.join_graph.num_edges == expected_edges
+
+    def test_default_name_contains_shape_and_size(self, generator):
+        query = generator.generate(5, GraphShape.STAR)
+        assert query.name == "star_5"
+
+    def test_explicit_name(self, generator):
+        query = generator.generate(5, GraphShape.STAR, name="custom")
+        assert query.name == "custom"
+
+    def test_zero_tables_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(0)
+
+    def test_single_table_query(self, generator):
+        query = generator.generate(1, GraphShape.CHAIN)
+        assert query.num_tables == 1
+        assert query.join_graph.num_edges == 0
+
+    def test_batch_generation(self, generator):
+        queries = generator.generate_batch(4, num_tables=5, shape=GraphShape.CYCLE)
+        assert len(queries) == 4
+        assert len({query.name for query in queries}) == 4
+
+    def test_reproducible_from_seed(self):
+        first = QueryGenerator(rng=random.Random(7)).generate(8, GraphShape.CHAIN)
+        second = QueryGenerator(rng=random.Random(7)).generate(8, GraphShape.CHAIN)
+        assert [t.cardinality for t in first.tables] == [
+            t.cardinality for t in second.tables
+        ]
+        assert list(first.join_graph.edges()) == list(second.join_graph.edges())
+
+    def test_different_seeds_differ(self):
+        first = QueryGenerator(rng=random.Random(1)).generate(8, GraphShape.CHAIN)
+        second = QueryGenerator(rng=random.Random(2)).generate(8, GraphShape.CHAIN)
+        assert [t.cardinality for t in first.tables] != [
+            t.cardinality for t in second.tables
+        ]
+
+    def test_selectivities_respect_model_lower_bound(self, generator):
+        query = generator.generate(10, GraphShape.CHAIN)
+        for a, b, selectivity in query.join_graph.edges():
+            bound = 1.0 / max(query.cardinality(a), query.cardinality(b))
+            assert selectivity >= bound - 1e-12
+            assert selectivity <= 1.0

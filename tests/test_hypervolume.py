@@ -1,0 +1,59 @@
+"""Unit tests for repro.pareto.hypervolume."""
+
+import pytest
+
+from repro.pareto.hypervolume import hypervolume
+
+
+class TestHypervolume2D:
+    def test_single_point(self):
+        assert hypervolume([(1.0, 1.0)], (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_two_non_dominated_points(self):
+        # Points (1,2) and (2,1) with reference (3,3):
+        # union area = 2*1 + 1*2 - 1*1 = 3.
+        assert hypervolume([(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0)) == pytest.approx(3.0)
+
+    def test_dominated_point_does_not_change_volume(self):
+        base = hypervolume([(1.0, 1.0)], (3.0, 3.0))
+        with_dominated = hypervolume([(1.0, 1.0), (2.0, 2.0)], (3.0, 3.0))
+        assert with_dominated == pytest.approx(base)
+
+    def test_point_outside_reference_ignored(self):
+        assert hypervolume([(4.0, 4.0)], (3.0, 3.0)) == 0.0
+
+    def test_empty_set(self):
+        assert hypervolume([], (1.0, 1.0)) == 0.0
+
+    def test_better_front_has_larger_volume(self):
+        worse = hypervolume([(2.0, 2.0)], (4.0, 4.0))
+        better = hypervolume([(1.0, 1.0)], (4.0, 4.0))
+        assert better > worse
+
+
+class TestHypervolume1DAnd3D:
+    def test_one_dimension(self):
+        assert hypervolume([(2.0,), (1.0,)], (5.0,)) == pytest.approx(4.0)
+
+    def test_three_dimensions_single_point(self):
+        assert hypervolume([(1.0, 1.0, 1.0)], (2.0, 3.0, 4.0)) == pytest.approx(6.0)
+
+    def test_three_dimensions_union(self):
+        points = [(1.0, 2.0, 2.0), (2.0, 1.0, 2.0)]
+        reference = (3.0, 3.0, 3.0)
+        # Volumes: 2*1*1=2 each, overlap is 1*1*1=1 → union 3.
+        assert hypervolume(points, reference) == pytest.approx(3.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hypervolume([(1.0, 2.0)], (1.0, 2.0, 3.0))
+
+    def test_monotone_under_adding_points(self, rng):
+        reference = (10.0, 10.0, 10.0)
+        points = []
+        previous = 0.0
+        for _ in range(30):
+            points.append((rng.uniform(0, 9), rng.uniform(0, 9), rng.uniform(0, 9)))
+            current = hypervolume(points, reference)
+            assert current >= previous - 1e-9
+            previous = current

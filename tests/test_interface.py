@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.interface (anytime optimizer protocol)."""
+
+import time
+from typing import List
+
+import pytest
+
+from repro.core.interface import AnytimeOptimizer, OptimizerStatistics
+from repro.plans.plan import Plan
+
+
+class CountingOptimizer(AnytimeOptimizer):
+    """Trivial optimizer used to test the shared driver logic."""
+
+    name = "Counting"
+
+    def __init__(self, cost_model, finish_after=None, step_delay=0.0):
+        super().__init__(cost_model)
+        self._finish_after = finish_after
+        self._step_delay = step_delay
+        self._plans: List[Plan] = []
+
+    def step(self) -> None:
+        if self._step_delay:
+            time.sleep(self._step_delay)
+        self.statistics.steps += 1
+        if not self._plans:
+            self._plans = [self.cost_model.default_scan(0)]
+
+    def frontier(self) -> List[Plan]:
+        return list(self._plans)
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self._finish_after is not None
+            and self.statistics.steps >= self._finish_after
+        )
+
+
+class TestStatistics:
+    def test_defaults(self):
+        statistics = OptimizerStatistics()
+        assert statistics.steps == 0
+        assert statistics.plans_built == 0
+        assert statistics.extra == {}
+
+
+class TestRunDriver:
+    def test_max_steps_budget(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        optimizer.run(max_steps=7)
+        assert optimizer.statistics.steps == 7
+
+    def test_time_budget_stops_run(self, chain_model):
+        optimizer = CountingOptimizer(chain_model, step_delay=0.01)
+        optimizer.run(time_budget=0.05)
+        assert 1 <= optimizer.statistics.steps <= 20
+
+    def test_finished_stops_run(self, chain_model):
+        optimizer = CountingOptimizer(chain_model, finish_after=3)
+        optimizer.run(max_steps=100)
+        assert optimizer.statistics.steps == 3
+
+    def test_run_returns_frontier(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        frontier = optimizer.run(max_steps=1)
+        assert len(frontier) == 1
+
+    def test_budget_required(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        with pytest.raises(ValueError):
+            optimizer.run()
+
+    def test_accessors(self, chain_model, chain_query_4):
+        optimizer = CountingOptimizer(chain_model)
+        assert optimizer.cost_model is chain_model
+        assert optimizer.query is chain_query_4
+        assert optimizer.finished is False

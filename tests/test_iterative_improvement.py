@@ -1,0 +1,65 @@
+"""Tests for the II baseline (multi-objective iterative improvement)."""
+
+import random
+
+import pytest
+
+from repro.baselines.iterative_improvement import IterativeImprovementOptimizer
+from repro.pareto.dominance import strictly_dominates
+from repro.plans.validation import validate_plan
+
+
+@pytest.fixture
+def optimizer(chain_model):
+    return IterativeImprovementOptimizer(chain_model, rng=random.Random(4))
+
+
+class TestIterativeImprovement:
+    def test_empty_before_first_step(self, optimizer):
+        assert optimizer.frontier() == []
+
+    def test_each_step_archives_a_local_optimum(self, optimizer, chain_query_4, chain_model):
+        optimizer.step()
+        frontier = optimizer.frontier()
+        assert len(frontier) >= 1
+        for plan in frontier:
+            validate_plan(plan, chain_query_4, chain_model.library, chain_model.num_metrics)
+
+    def test_archive_is_non_dominated(self, optimizer):
+        optimizer.run(max_steps=8)
+        frontier = optimizer.frontier()
+        for first in frontier:
+            for second in frontier:
+                if first is second:
+                    continue
+                assert not (strictly_dominates(first.cost, second.cost))
+
+    def test_path_lengths_recorded(self, optimizer):
+        optimizer.run(max_steps=5)
+        assert len(optimizer.climb_path_lengths) == 5
+        assert all(length >= 0 for length in optimizer.climb_path_lengths)
+
+    def test_statistics_track_work(self, optimizer):
+        optimizer.run(max_steps=3)
+        assert optimizer.statistics.steps == 3
+        assert optimizer.statistics.plans_built > 0
+
+    def test_never_finished(self, optimizer):
+        assert not optimizer.finished
+
+    def test_frontier_grows_or_stays_with_more_steps(self, chain_model):
+        optimizer = IterativeImprovementOptimizer(chain_model, rng=random.Random(8))
+        optimizer.run(max_steps=2)
+        best_after_2 = min(plan.cost[0] for plan in optimizer.frontier())
+        optimizer.run(max_steps=10)
+        best_after_12 = min(plan.cost[0] for plan in optimizer.frontier())
+        assert best_after_12 <= best_after_2
+
+    def test_reproducible_with_seed(self, chain_model):
+        first = IterativeImprovementOptimizer(chain_model, rng=random.Random(1))
+        second = IterativeImprovementOptimizer(chain_model, rng=random.Random(1))
+        first.run(max_steps=4)
+        second.run(max_steps=4)
+        assert sorted(p.cost for p in first.frontier()) == sorted(
+            p.cost for p in second.frontier()
+        )

@@ -1,0 +1,144 @@
+"""Unit tests for repro.query.join_graph."""
+
+import pytest
+
+from repro.query.join_graph import GraphShape, JoinGraph
+
+
+class TestEdgeManagement:
+    def test_add_and_query_edge(self):
+        graph = JoinGraph(3)
+        graph.add_edge(0, 1, 0.5)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.edge_selectivity(0, 1) == 0.5
+        assert graph.edge_selectivity(1, 0) == 0.5
+
+    def test_missing_edge_has_selectivity_one(self):
+        graph = JoinGraph(3)
+        assert not graph.has_edge(0, 2)
+        assert graph.edge_selectivity(0, 2) == 1.0
+
+    def test_self_edge_rejected(self):
+        graph = JoinGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1, 0.5)
+
+    def test_out_of_range_endpoint_rejected(self):
+        graph = JoinGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 3, 0.5)
+
+    def test_invalid_selectivity_rejected(self):
+        graph = JoinGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 1.5)
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(0)
+
+    def test_edges_iteration_sorted(self):
+        graph = JoinGraph(4)
+        graph.add_edge(2, 3, 0.3)
+        graph.add_edge(0, 1, 0.1)
+        assert list(graph.edges()) == [(0, 1, 0.1), (2, 3, 0.3)]
+
+    def test_num_edges(self):
+        graph = JoinGraph(4, edges={(0, 1): 0.1, (1, 2): 0.2})
+        assert graph.num_edges == 2
+        assert graph.num_tables == 4
+
+
+class TestSelectivityBetween:
+    def test_single_crossing_edge(self):
+        graph = JoinGraph(4, edges={(0, 1): 0.1, (1, 2): 0.2, (2, 3): 0.3})
+        assert graph.selectivity_between({0}, {1}) == pytest.approx(0.1)
+
+    def test_multiple_crossing_edges_multiply(self):
+        graph = JoinGraph(4, edges={(0, 2): 0.1, (1, 3): 0.5})
+        assert graph.selectivity_between({0, 1}, {2, 3}) == pytest.approx(0.05)
+
+    def test_no_crossing_edge_is_cartesian(self):
+        graph = JoinGraph(4, edges={(0, 1): 0.1})
+        assert graph.selectivity_between({0, 1}, {2, 3}) == 1.0
+
+    def test_internal_edges_ignored(self):
+        graph = JoinGraph(4, edges={(0, 1): 0.001, (1, 2): 0.5})
+        # the (0, 1) edge is internal to the left side and must not count
+        assert graph.selectivity_between({0, 1}, {2}) == pytest.approx(0.5)
+
+    def test_overlapping_sets_rejected(self):
+        graph = JoinGraph(3)
+        with pytest.raises(ValueError):
+            graph.selectivity_between({0, 1}, {1, 2})
+
+
+class TestConnectivity:
+    def test_neighbors(self):
+        graph = JoinGraph.star(4, [0.1, 0.2, 0.3])
+        assert graph.neighbors(0) == frozenset({1, 2, 3})
+        assert graph.neighbors(2) == frozenset({0})
+
+    def test_connected_subset_chain(self):
+        graph = JoinGraph.chain(5, [0.1] * 4)
+        assert graph.is_connected_subset({1, 2, 3})
+        assert not graph.is_connected_subset({0, 2})
+        assert graph.is_connected_subset({4})
+
+    def test_connected_subset_star(self):
+        graph = JoinGraph.star(5, [0.1] * 4)
+        assert graph.is_connected_subset({0, 3})
+        assert not graph.is_connected_subset({1, 2})
+
+    def test_empty_subset_not_connected(self):
+        graph = JoinGraph.chain(3, [0.1, 0.1])
+        assert not graph.is_connected_subset(set())
+
+
+class TestBuilders:
+    def test_chain_edges(self):
+        graph = JoinGraph.chain(4, [0.1, 0.2, 0.3])
+        assert graph.num_edges == 3
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 2) and graph.has_edge(2, 3)
+        assert not graph.has_edge(0, 3)
+
+    def test_cycle_edges(self):
+        graph = JoinGraph.cycle(4, [0.1, 0.2, 0.3, 0.4])
+        assert graph.num_edges == 4
+        assert graph.has_edge(3, 0)
+
+    def test_cycle_of_two_is_single_edge(self):
+        graph = JoinGraph.cycle(2, [0.1])
+        assert graph.num_edges == 1
+
+    def test_star_edges(self):
+        graph = JoinGraph.star(5, [0.1, 0.2, 0.3, 0.4])
+        assert graph.num_edges == 4
+        assert all(graph.has_edge(0, i) for i in range(1, 5))
+        assert not graph.has_edge(1, 2)
+
+    def test_clique_edges(self):
+        graph = JoinGraph.clique(4, [0.1] * 6)
+        assert graph.num_edges == 6
+        assert all(graph.has_edge(a, b) for a in range(4) for b in range(a + 1, 4))
+
+    def test_wrong_selectivity_count_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph.chain(4, [0.1, 0.2])
+        with pytest.raises(ValueError):
+            JoinGraph.star(4, [0.1, 0.2, 0.3, 0.4])
+
+    def test_from_shape_dispatch(self):
+        for shape in GraphShape:
+            expected = JoinGraph.edge_count_for_shape(shape, 5)
+            graph = JoinGraph.from_shape(shape, 5, [0.1] * expected)
+            assert graph.num_edges == expected
+
+    def test_edge_count_for_shape(self):
+        assert JoinGraph.edge_count_for_shape(GraphShape.CHAIN, 10) == 9
+        assert JoinGraph.edge_count_for_shape(GraphShape.CYCLE, 10) == 10
+        assert JoinGraph.edge_count_for_shape(GraphShape.STAR, 10) == 9
+        assert JoinGraph.edge_count_for_shape(GraphShape.CLIQUE, 10) == 45

@@ -1,0 +1,228 @@
+"""Unit tests for repro.cost.metrics."""
+
+import pytest
+
+from repro.cost.metrics import (
+    PAPER_METRICS,
+    BufferMetric,
+    CostModelConfig,
+    DiskMetric,
+    EnergyMetric,
+    MonetaryMetric,
+    PrecisionLossMetric,
+    TimeMetric,
+    available_metric_names,
+    metric_by_name,
+)
+from repro.plans.operators import (
+    DataFormat,
+    JoinAlgorithm,
+    JoinOperator,
+    ScanAlgorithm,
+    ScanOperator,
+)
+from repro.query.table import Table
+
+CONFIG = CostModelConfig()
+
+
+@pytest.fixture
+def big_table():
+    return Table(index=0, name="big", cardinality=100_000)
+
+
+@pytest.fixture
+def small_table():
+    return Table(index=1, name="small", cardinality=100)
+
+
+def make_scan_plan(model, table_index=0):
+    return model.default_scan(table_index)
+
+
+class TestRegistry:
+    def test_paper_metrics_registered(self):
+        for name in PAPER_METRICS:
+            assert metric_by_name(name).name == name
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            metric_by_name("latency_p99")
+
+    def test_available_names_cover_extensions(self):
+        names = available_metric_names()
+        assert "monetary" in names
+        assert "energy" in names
+        assert "precision_loss" in names
+
+
+class TestConfig:
+    def test_pages_conversion(self):
+        assert CONFIG.pages(0.0) == 1.0  # floor at one page
+        assert CONFIG.pages(1e6) == pytest.approx(1e6 * 100 / 8192)
+
+
+class TestTimeMetric:
+    def test_scan_cost_grows_with_table_size(self, big_table, small_table):
+        metric = TimeMetric()
+        op = ScanOperator("seq")
+        big = metric.scan_cost(big_table, op, big_table.cardinality, CONFIG)
+        small = metric.scan_cost(small_table, op, small_table.cardinality, CONFIG)
+        assert big > small > 0
+
+    def test_parallel_scan_is_faster(self, big_table):
+        metric = TimeMetric()
+        serial = ScanOperator("s1")
+        parallel = ScanOperator("s4", parallelism=4)
+        assert metric.scan_cost(big_table, parallel, big_table.cardinality, CONFIG) < (
+            metric.scan_cost(big_table, serial, big_table.cardinality, CONFIG)
+        )
+
+    def test_index_scan_cheaper_than_full_scan_for_large_table(self, big_table):
+        metric = TimeMetric()
+        full = ScanOperator("seq", ScanAlgorithm.FULL)
+        index = ScanOperator("idx", ScanAlgorithm.INDEX)
+        assert metric.scan_cost(big_table, index, big_table.cardinality, CONFIG) < (
+            metric.scan_cost(big_table, full, big_table.cardinality, CONFIG)
+        )
+
+    def test_join_algorithm_ordering(self, chain_model):
+        # For sizeable inputs, hash join should beat block-nested-loop with a
+        # small memory budget, which should beat tuple nested loop.
+        metric = TimeMetric()
+        outer = chain_model.default_scan(1)  # 10,000 rows
+        inner = chain_model.default_scan(3)  # 2,000 rows
+        output = 1_000.0
+        hash_cost = metric.join_cost(
+            outer, inner, JoinOperator("h", JoinAlgorithm.HASH, memory_pages=1024), output, CONFIG
+        )
+        bnl_cost = metric.join_cost(
+            outer,
+            inner,
+            JoinOperator("b", JoinAlgorithm.BLOCK_NESTED_LOOP, memory_pages=2),
+            output,
+            CONFIG,
+        )
+        nl_cost = metric.join_cost(
+            outer, inner, JoinOperator("n", JoinAlgorithm.NESTED_LOOP), output, CONFIG
+        )
+        assert hash_cost < bnl_cost < nl_cost
+
+    def test_materialized_output_costs_more(self, chain_model):
+        metric = TimeMetric()
+        outer = chain_model.default_scan(1)
+        inner = chain_model.default_scan(3)
+        pipelined = JoinOperator("p", JoinAlgorithm.HASH, DataFormat.PIPELINED)
+        materialized = JoinOperator("m", JoinAlgorithm.HASH, DataFormat.MATERIALIZED)
+        output = 50_000.0
+        assert metric.join_cost(outer, inner, materialized, output, CONFIG) > (
+            metric.join_cost(outer, inner, pipelined, output, CONFIG)
+        )
+
+    def test_hash_join_degrades_when_memory_too_small(self, chain_model):
+        metric = TimeMetric()
+        outer = chain_model.default_scan(1)
+        inner = chain_model.default_scan(3)
+        roomy = JoinOperator("roomy", JoinAlgorithm.HASH, memory_pages=10_000)
+        tight = JoinOperator("tight", JoinAlgorithm.HASH, memory_pages=1)
+        output = 1_000.0
+        assert metric.join_cost(outer, inner, tight, output, CONFIG) > (
+            metric.join_cost(outer, inner, roomy, output, CONFIG)
+        )
+
+
+class TestBufferMetric:
+    def test_hash_join_buffer_tracks_build_side(self, chain_model):
+        metric = BufferMetric()
+        outer = chain_model.default_scan(1)
+        small_inner = chain_model.default_scan(0)  # 100 rows
+        large_inner = chain_model.default_scan(3)  # 2,000 rows
+        op = JoinOperator("h", JoinAlgorithm.HASH, memory_pages=100_000)
+        assert metric.join_cost(outer, large_inner, op, 1.0, CONFIG) > (
+            metric.join_cost(outer, small_inner, op, 1.0, CONFIG)
+        )
+
+    def test_bnl_buffer_is_memory_budget(self, chain_model):
+        metric = BufferMetric()
+        outer = chain_model.default_scan(1)
+        inner = chain_model.default_scan(0)
+        small = JoinOperator("b8", JoinAlgorithm.BLOCK_NESTED_LOOP, memory_pages=8)
+        large = JoinOperator("b128", JoinAlgorithm.BLOCK_NESTED_LOOP, memory_pages=128)
+        assert metric.join_cost(outer, inner, small, 1.0, CONFIG) == 8.0
+        assert metric.join_cost(outer, inner, large, 1.0, CONFIG) == 128.0
+
+    def test_scan_buffer_is_small_constant(self, big_table):
+        metric = BufferMetric()
+        assert metric.scan_cost(big_table, ScanOperator("s"), 1.0, CONFIG) == 1.0
+
+
+class TestDiskMetric:
+    def test_pipelined_scan_has_zero_disk(self, big_table):
+        metric = DiskMetric()
+        assert metric.scan_cost(big_table, ScanOperator("s"), 1e5, CONFIG) == 0.0
+
+    def test_materialized_scan_uses_disk(self, big_table):
+        metric = DiskMetric()
+        op = ScanOperator("s", output_format=DataFormat.MATERIALIZED)
+        assert metric.scan_cost(big_table, op, 1e5, CONFIG) > 0.0
+
+    def test_sort_merge_spills_when_memory_small(self, chain_model):
+        metric = DiskMetric()
+        outer = chain_model.default_scan(1)
+        inner = chain_model.default_scan(3)
+        tight = JoinOperator("sm", JoinAlgorithm.SORT_MERGE, memory_pages=1)
+        roomy = JoinOperator("sm2", JoinAlgorithm.SORT_MERGE, memory_pages=1_000_000)
+        assert metric.join_cost(outer, inner, tight, 1.0, CONFIG) > 0.0
+        assert metric.join_cost(outer, inner, roomy, 1.0, CONFIG) == 0.0
+
+
+class TestExtensionMetrics:
+    def test_monetary_cost_grows_with_parallelism_overhead(self, big_table):
+        metric = MonetaryMetric()
+        serial = ScanOperator("s1", parallelism=1)
+        parallel = ScanOperator("s8", parallelism=8)
+        serial_cost = metric.scan_cost(big_table, serial, 1.0, CONFIG)
+        parallel_cost = metric.scan_cost(big_table, parallel, 1.0, CONFIG)
+        assert parallel_cost > serial_cost
+
+    def test_parallelism_trades_time_for_money(self, big_table):
+        time_metric, money_metric = TimeMetric(), MonetaryMetric()
+        serial = ScanOperator("s1", parallelism=1)
+        parallel = ScanOperator("s8", parallelism=8)
+        assert time_metric.scan_cost(big_table, parallel, 1.0, CONFIG) < (
+            time_metric.scan_cost(big_table, serial, 1.0, CONFIG)
+        )
+        assert money_metric.scan_cost(big_table, parallel, 1.0, CONFIG) > (
+            money_metric.scan_cost(big_table, serial, 1.0, CONFIG)
+        )
+
+    def test_energy_proportional_to_work(self, chain_model):
+        metric = EnergyMetric()
+        outer = chain_model.default_scan(1)
+        inner = chain_model.default_scan(3)
+        op = JoinOperator("h", JoinAlgorithm.HASH)
+        assert metric.join_cost(outer, inner, op, 1.0, CONFIG) > 0.0
+
+    def test_precision_loss_only_from_sampling(self, big_table, chain_model):
+        metric = PrecisionLossMetric()
+        full = ScanOperator("full", sampling_rate=1.0)
+        sampled = ScanOperator("sample", ScanAlgorithm.SAMPLE, sampling_rate=0.2)
+        assert metric.scan_cost(big_table, full, 1.0, CONFIG) == 0.0
+        assert metric.scan_cost(big_table, sampled, 1.0, CONFIG) == pytest.approx(0.8)
+        outer = chain_model.default_scan(0)
+        inner = chain_model.default_scan(1)
+        op = JoinOperator("h", JoinAlgorithm.HASH)
+        assert metric.join_cost(outer, inner, op, 1.0, CONFIG) == 0.0
+
+
+class TestNonNegativity:
+    @pytest.mark.parametrize("name", list(available_metric_names()))
+    def test_all_metrics_non_negative(self, name, chain_model, big_table):
+        metric = metric_by_name(name)
+        scan_cost = metric.scan_cost(big_table, ScanOperator("s"), 100.0, CONFIG)
+        assert scan_cost >= 0.0
+        outer = chain_model.default_scan(0)
+        inner = chain_model.default_scan(1)
+        for algorithm in JoinAlgorithm:
+            op = JoinOperator("op", algorithm)
+            assert metric.join_cost(outer, inner, op, 10.0, CONFIG) >= 0.0

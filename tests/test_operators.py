@@ -1,0 +1,128 @@
+"""Unit tests for repro.plans.operators."""
+
+import pytest
+
+from repro.plans.operators import (
+    DataFormat,
+    JoinAlgorithm,
+    JoinOperator,
+    OperatorLibrary,
+    ScanAlgorithm,
+    ScanOperator,
+)
+
+
+class TestScanOperator:
+    def test_defaults(self):
+        op = ScanOperator("seq")
+        assert op.algorithm is ScanAlgorithm.FULL
+        assert op.output_format is DataFormat.PIPELINED
+        assert op.sampling_rate == 1.0
+        assert op.parallelism == 1
+        assert not op.is_join
+
+    def test_invalid_sampling_rate(self):
+        with pytest.raises(ValueError):
+            ScanOperator("s", sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            ScanOperator("s", sampling_rate=1.5)
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            ScanOperator("s", parallelism=0)
+
+
+class TestJoinOperator:
+    def test_defaults(self):
+        op = JoinOperator("hj", JoinAlgorithm.HASH)
+        assert op.is_join
+        assert not op.requires_materialized_inner
+
+    def test_nested_loop_requires_materialized_inner(self):
+        bnl = JoinOperator("bnl", JoinAlgorithm.BLOCK_NESTED_LOOP)
+        nl = JoinOperator("nl", JoinAlgorithm.NESTED_LOOP)
+        assert bnl.requires_materialized_inner
+        assert nl.requires_materialized_inner
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            JoinOperator("hj", JoinAlgorithm.HASH, memory_pages=0)
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            JoinOperator("hj", JoinAlgorithm.HASH, parallelism=0)
+
+
+class TestOperatorLibrary:
+    def test_default_library_structure(self):
+        library = OperatorLibrary.default()
+        assert len(library.scan_operators) >= 2
+        assert len(library.join_operators) >= 4
+        assert library.num_operators == len(library.scan_operators) + len(
+            library.join_operators
+        )
+
+    def test_lookup_by_name(self):
+        library = OperatorLibrary.default()
+        assert library.join_operator("hash_join").algorithm is JoinAlgorithm.HASH
+        assert library.scan_operator("seq_scan").algorithm is ScanAlgorithm.FULL
+        with pytest.raises(KeyError):
+            library.join_operator("nope")
+        with pytest.raises(KeyError):
+            library.scan_operator("nope")
+
+    def test_applicability_restricts_nested_loops(self):
+        library = OperatorLibrary.default()
+        pipelined = library.applicable_join_operators(
+            DataFormat.PIPELINED, DataFormat.PIPELINED
+        )
+        materialized = library.applicable_join_operators(
+            DataFormat.PIPELINED, DataFormat.MATERIALIZED
+        )
+        assert all(not op.requires_materialized_inner for op in pipelined)
+        assert len(materialized) >= len(pipelined)
+        assert any(op.requires_materialized_inner for op in materialized)
+
+    def test_every_input_has_applicable_join(self):
+        library = OperatorLibrary.default()
+        for outer in DataFormat:
+            for inner in DataFormat:
+                assert library.applicable_join_operators(outer, inner)
+
+    def test_duplicate_names_rejected(self):
+        scan = ScanOperator("s")
+        join = JoinOperator("j", JoinAlgorithm.HASH)
+        with pytest.raises(ValueError):
+            OperatorLibrary(scan_operators=(scan, scan), join_operators=(join,))
+
+    def test_empty_library_rejected(self):
+        join = JoinOperator("j", JoinAlgorithm.HASH)
+        with pytest.raises(ValueError):
+            OperatorLibrary(scan_operators=(), join_operators=(join,))
+        with pytest.raises(ValueError):
+            OperatorLibrary(scan_operators=(ScanOperator("s"),), join_operators=())
+
+    def test_library_needs_universally_applicable_join(self):
+        scan = ScanOperator("s")
+        bnl_only = (JoinOperator("bnl", JoinAlgorithm.BLOCK_NESTED_LOOP),)
+        with pytest.raises(ValueError):
+            OperatorLibrary(scan_operators=(scan,), join_operators=bnl_only)
+
+    def test_minimal_library(self):
+        library = OperatorLibrary.minimal()
+        assert len(library.scan_operators) == 1
+        assert len(library.join_operators) == 1
+
+    def test_cloud_library_parallelism_variants(self):
+        library = OperatorLibrary.cloud(parallelism_levels=(1, 8))
+        parallelisms = {op.parallelism for op in library.join_operators}
+        assert parallelisms == {1, 8}
+        with pytest.raises(ValueError):
+            OperatorLibrary.cloud(parallelism_levels=())
+
+    def test_sampling_library_rates(self):
+        library = OperatorLibrary.sampling(sampling_rates=(1.0, 0.5))
+        rates = {op.sampling_rate for op in library.scan_operators}
+        assert rates == {1.0, 0.5}
+        with pytest.raises(ValueError):
+            OperatorLibrary.sampling(sampling_rates=())

@@ -1,0 +1,112 @@
+"""Unit tests for repro.plans.plan."""
+
+import pytest
+
+from repro.plans.operators import DataFormat
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+
+
+@pytest.fixture
+def scans(chain_model):
+    return [chain_model.default_scan(i) for i in range(4)]
+
+
+class TestScanPlan:
+    def test_scan_attributes(self, chain_model):
+        scan = chain_model.default_scan(2)
+        assert isinstance(scan, ScanPlan)
+        assert not scan.is_join
+        assert scan.rel == frozenset({2})
+        assert scan.num_tables == 1
+        assert scan.height == 1
+        assert scan.num_nodes == 1
+        assert scan.cardinality == chain_model.query.cardinality(2)
+        assert len(scan.cost) == chain_model.num_metrics
+
+    def test_scan_signature(self, chain_model):
+        scan = chain_model.default_scan(1)
+        assert scan.join_order_signature() == ("scan", 1)
+
+    def test_iter_nodes_single(self, chain_model):
+        scan = chain_model.default_scan(0)
+        assert list(scan.iter_nodes()) == [scan]
+
+
+class TestJoinPlan:
+    def test_join_attributes(self, chain_model, scans):
+        join = chain_model.default_join(scans[0], scans[1])
+        assert isinstance(join, JoinPlan)
+        assert join.is_join
+        assert join.rel == frozenset({0, 1})
+        assert join.num_tables == 2
+        assert join.height == 2
+        assert join.num_nodes == 3
+        assert join.outer is scans[0]
+        assert join.inner is scans[1]
+
+    def test_join_of_joins(self, chain_model, scans):
+        left = chain_model.default_join(scans[0], scans[1])
+        right = chain_model.default_join(scans[2], scans[3])
+        bushy = chain_model.default_join(left, right)
+        assert bushy.rel == frozenset({0, 1, 2, 3})
+        assert bushy.height == 3
+        assert bushy.num_nodes == 7
+
+    def test_overlapping_children_rejected(self, chain_model, scans):
+        join = chain_model.default_join(scans[0], scans[1])
+        with pytest.raises(ValueError):
+            chain_model.default_join(join, scans[1])
+
+    def test_iter_nodes_postorder(self, chain_model, scans):
+        join = chain_model.default_join(scans[0], scans[1])
+        nodes = list(join.iter_nodes())
+        assert nodes == [scans[0], scans[1], join]
+
+    def test_join_order_signature_distinguishes_structure(self, chain_model, scans):
+        left_deep = chain_model.default_join(
+            chain_model.default_join(scans[0], scans[1]), scans[2]
+        )
+        right_deep = chain_model.default_join(
+            scans[0], chain_model.default_join(scans[1], scans[2])
+        )
+        assert left_deep.join_order_signature() != right_deep.join_order_signature()
+
+    def test_signature_ignores_operators(self, chain_model, scans):
+        operators = chain_model.join_operators(scans[0], scans[1])
+        assert len(operators) >= 2
+        first = chain_model.make_join(scans[0], scans[1], operators[0])
+        second = chain_model.make_join(scans[0], scans[1], operators[1])
+        assert first.join_order_signature() == second.join_order_signature()
+
+    def test_output_format_follows_operator(self, chain_model, scans):
+        for operator in chain_model.join_operators(scans[0], scans[1]):
+            join = chain_model.make_join(scans[0], scans[1], operator)
+            assert join.output_format is operator.output_format
+            assert isinstance(join.output_format, DataFormat)
+
+
+class TestStructuralEquality:
+    def test_equal_plans(self, chain_model, scans):
+        first = chain_model.default_join(scans[0], scans[1])
+        second = chain_model.default_join(
+            chain_model.default_scan(0), chain_model.default_scan(1)
+        )
+        assert first.structurally_equal(second)
+
+    def test_different_operator_not_equal(self, chain_model, scans):
+        operators = chain_model.join_operators(scans[0], scans[1])
+        first = chain_model.make_join(scans[0], scans[1], operators[0])
+        second = chain_model.make_join(scans[0], scans[1], operators[1])
+        assert not first.structurally_equal(second)
+
+    def test_scan_vs_join_not_equal(self, chain_model, scans):
+        join = chain_model.default_join(scans[0], scans[1])
+        assert not scans[0].structurally_equal(join)
+        assert not join.structurally_equal(scans[0])
+
+    def test_base_plan_is_abstract_interface(self):
+        plan = Plan(frozenset({0}), (1.0,), 1.0, DataFormat.PIPELINED)
+        with pytest.raises(NotImplementedError):
+            _ = plan.is_join
+        with pytest.raises(NotImplementedError):
+            plan.join_order_signature()

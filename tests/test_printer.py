@@ -1,0 +1,65 @@
+"""Unit tests for repro.plans.printer."""
+
+import pytest
+
+from repro.plans.printer import explain_plan, plan_signature
+
+
+@pytest.fixture
+def small_join(chain_model):
+    scan_a = chain_model.default_scan(0)
+    scan_b = chain_model.default_scan(1)
+    return chain_model.default_join(scan_a, scan_b)
+
+
+class TestPlanSignature:
+    def test_scan_signature_uses_table_name(self, chain_model):
+        assert plan_signature(chain_model.default_scan(0)) == "t0"
+
+    def test_join_signature_nested(self, chain_model, small_join):
+        signature = plan_signature(small_join)
+        assert signature.startswith("(")
+        assert "t0" in signature and "t1" in signature
+
+    def test_signatures_differ_for_different_orders(self, chain_model):
+        scans = [chain_model.default_scan(i) for i in range(3)]
+        left = chain_model.default_join(chain_model.default_join(scans[0], scans[1]), scans[2])
+        right = chain_model.default_join(scans[0], chain_model.default_join(scans[1], scans[2]))
+        assert plan_signature(left) != plan_signature(right)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            plan_signature("not a plan")  # type: ignore[arg-type]
+
+
+class TestExplainPlan:
+    def test_explain_contains_operators_and_tables(self, small_join):
+        text = explain_plan(small_join)
+        assert "Join[" in text
+        assert "Scan[" in text
+        assert "t0" in text and "t1" in text
+
+    def test_explain_has_one_line_per_node(self, small_join):
+        text = explain_plan(small_join)
+        assert len(text.splitlines()) == small_join.num_nodes
+
+    def test_explain_uses_metric_names(self, small_join, chain_model):
+        text = explain_plan(small_join, metric_names=chain_model.metric_names)
+        assert "time=" in text
+        assert "buffer=" in text
+
+    def test_explain_default_metric_names(self, small_join):
+        text = explain_plan(small_join)
+        assert "m0=" in text
+
+    def test_wrong_metric_name_count_rejected(self, small_join):
+        with pytest.raises(ValueError):
+            explain_plan(small_join, metric_names=["only_one"])
+
+    def test_indentation_reflects_depth(self, chain_model):
+        scans = [chain_model.default_scan(i) for i in range(3)]
+        plan = chain_model.default_join(chain_model.default_join(scans[0], scans[1]), scans[2])
+        lines = explain_plan(plan, indent="    ").splitlines()
+        assert lines[0].startswith("Join")
+        assert lines[1].startswith("    Join")
+        assert lines[2].startswith("        Scan")

@@ -1,0 +1,64 @@
+"""Unit tests for repro.query.query."""
+
+import pytest
+
+from repro.query.join_graph import JoinGraph
+from repro.query.query import Query
+from repro.query.table import Table
+
+from tests.conftest import build_query
+
+
+class TestQueryConstruction:
+    def test_basic_query(self, chain_query_4):
+        assert chain_query_4.num_tables == 4
+        assert chain_query_4.relations == frozenset({0, 1, 2, 3})
+        assert chain_query_4.table(1).cardinality == 10_000
+
+    def test_empty_table_list_rejected(self):
+        with pytest.raises(ValueError):
+            Query([], JoinGraph(1))
+
+    def test_misordered_tables_rejected(self):
+        tables = [
+            Table(index=1, name="a", cardinality=10),
+            Table(index=0, name="b", cardinality=10),
+        ]
+        with pytest.raises(ValueError):
+            Query(tables, JoinGraph(2))
+
+    def test_graph_size_mismatch_rejected(self):
+        tables = [Table(index=0, name="a", cardinality=10)]
+        with pytest.raises(ValueError):
+            Query(tables, JoinGraph(2))
+
+    def test_tables_tuple_is_readonly_copy(self, chain_query_4):
+        tables = chain_query_4.tables
+        assert isinstance(tables, tuple)
+        assert len(tables) == 4
+
+
+class TestQueryAccessors:
+    def test_cardinality_shortcut(self, chain_query_4):
+        assert chain_query_4.cardinality(0) == 100
+        assert chain_query_4.cardinality(3) == 2_000
+
+    def test_selectivity_between_delegates_to_graph(self, chain_query_4):
+        assert chain_query_4.selectivity_between({0}, {1}) == pytest.approx(0.01)
+        assert chain_query_4.selectivity_between({0}, {3}) == 1.0
+
+    def test_statistics_summary(self, chain_query_4):
+        statistics = chain_query_4.statistics()
+        assert statistics["num_tables"] == 4
+        assert statistics["num_predicates"] == 3
+        assert statistics["min_cardinality"] == 100
+        assert statistics["max_cardinality"] == 10_000
+
+    def test_single_table_query(self, single_table_query):
+        assert single_table_query.num_tables == 1
+        assert single_table_query.relations == frozenset({0})
+
+    def test_build_query_helper(self):
+        query = build_query([10, 20], [(0, 1, 0.5)])
+        assert query.num_tables == 2
+        assert query.selectivity_between({0}, {1}) == 0.5

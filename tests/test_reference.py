@@ -1,0 +1,56 @@
+"""Tests for repro.bench.reference (reference frontiers)."""
+
+import pytest
+
+from repro.bench.reference import dp_reference_frontier, union_reference_frontier
+from repro.cost.model import MultiObjectiveCostModel
+from repro.pareto.dominance import dominates
+
+
+class TestUnionReference:
+    def test_union_is_pareto_filtered(self):
+        frontier_a = [(1.0, 5.0), (4.0, 4.0)]
+        frontier_b = [(5.0, 1.0), (2.0, 2.0)]
+        reference = union_reference_frontier([frontier_a, frontier_b])
+        assert (4.0, 4.0) not in reference
+        assert set(reference) == {(1.0, 5.0), (5.0, 1.0), (2.0, 2.0)}
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            union_reference_frontier([[], []])
+
+    def test_single_algorithm_union(self):
+        reference = union_reference_frontier([[(1.0, 1.0)]])
+        assert reference == [(1.0, 1.0)]
+
+    def test_union_dominates_every_contributor(self):
+        frontiers = [[(3.0, 1.0), (9.0, 9.0)], [(1.0, 3.0)]]
+        reference = union_reference_frontier(frontiers)
+        for frontier in frontiers:
+            for cost in frontier:
+                assert any(dominates(ref, cost) for ref in reference)
+
+
+class TestDPReference:
+    def test_small_query_reference_non_empty(self, two_metric_model):
+        reference = dp_reference_frontier(two_metric_model, alpha=1.01)
+        assert reference
+        # Mutually non-dominated.
+        for first in reference:
+            for second in reference:
+                if first != second:
+                    assert not dominates(first, second) or not dominates(second, first)
+
+    def test_reference_costs_have_right_arity(self, chain_model):
+        reference = dp_reference_frontier(chain_model, alpha=1.5, max_steps=100_000)
+        assert reference
+        assert all(len(cost) == chain_model.num_metrics for cost in reference)
+
+    def test_budget_can_prevent_completion(self, rng):
+        from repro.query.generator import QueryGenerator
+        from repro.query.join_graph import GraphShape
+
+        query = QueryGenerator(rng=rng).generate(25, GraphShape.CHAIN)
+        model = MultiObjectiveCostModel(query, metrics=("time", "buffer"))
+        reference = dp_reference_frontier(model, alpha=2.0, max_steps=3)
+        assert reference == []

@@ -1,0 +1,150 @@
+"""Unit and behaviour tests for repro.core.rmq (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.core.frontier import AlphaSchedule
+from repro.core.rmq import RMQOptimizer
+from repro.pareto.dominance import strictly_dominates
+from repro.plans.validation import validate_plan
+
+
+@pytest.fixture
+def optimizer(chain_model):
+    return RMQOptimizer(chain_model, rng=random.Random(1))
+
+
+class TestBasicBehaviour:
+    def test_no_result_before_first_step(self, optimizer):
+        assert optimizer.frontier() == []
+        assert optimizer.iteration == 0
+
+    def test_one_step_produces_complete_plans(self, optimizer, chain_query_4, chain_model):
+        optimizer.step()
+        frontier = optimizer.frontier()
+        assert frontier
+        for plan in frontier:
+            assert plan.rel == chain_query_4.relations
+            validate_plan(plan, chain_query_4, chain_model.library, chain_model.num_metrics)
+
+    def test_iteration_counter_and_statistics(self, optimizer):
+        for _ in range(3):
+            optimizer.step()
+        assert optimizer.iteration == 3
+        assert optimizer.statistics.steps == 3
+        assert optimizer.statistics.plans_built > 0
+        assert len(optimizer.climb_path_lengths) == 3
+        assert "mean_path_length" in optimizer.statistics.extra
+
+    def test_never_finished(self, optimizer):
+        assert optimizer.finished is False
+        optimizer.step()
+        assert optimizer.finished is False
+
+    def test_run_with_step_budget(self, chain_model):
+        optimizer = RMQOptimizer(chain_model, rng=random.Random(2))
+        frontier = optimizer.run(max_steps=5)
+        assert optimizer.iteration == 5
+        assert frontier
+
+    def test_run_requires_some_budget(self, optimizer):
+        with pytest.raises(ValueError):
+            optimizer.run()
+
+    def test_current_alpha_tracks_schedule(self, chain_model):
+        optimizer = RMQOptimizer(
+            chain_model, rng=random.Random(0), schedule=AlphaSchedule.constant(7.0)
+        )
+        assert optimizer.current_alpha == 7.0
+
+    def test_reproducible_with_same_seed(self, chain_model):
+        first = RMQOptimizer(chain_model, rng=random.Random(42))
+        second = RMQOptimizer(chain_model, rng=random.Random(42))
+        first.run(max_steps=5)
+        second.run(max_steps=5)
+        first_costs = sorted(plan.cost for plan in first.frontier())
+        second_costs = sorted(plan.cost for plan in second.frontier())
+        assert first_costs == second_costs
+
+
+class TestResultQuality:
+    def test_frontier_is_mutually_non_dominated_per_format(self, optimizer):
+        optimizer.run(max_steps=8)
+        frontier = optimizer.frontier()
+        for first in frontier:
+            for second in frontier:
+                if first is second or first.output_format is not second.output_format:
+                    continue
+                assert not strictly_dominates(first.cost, second.cost) or (
+                    first.cost == second.cost
+                )
+
+    def test_more_iterations_do_not_hurt_coverage(self, chain_model):
+        """The best (minimum) cost per metric never degrades over iterations."""
+        optimizer = RMQOptimizer(chain_model, rng=random.Random(5))
+        optimizer.run(max_steps=3)
+        early = optimizer.frontier()
+        early_best = [min(plan.cost[i] for plan in early) for i in range(3)]
+        optimizer.run(max_steps=10)
+        late = optimizer.frontier()
+        late_best = [min(plan.cost[i] for plan in late) for i in range(3)]
+        for early_value, late_value in zip(early_best, late_best):
+            assert late_value <= early_value * (1.0 + 1e-9)
+
+    def test_plan_cache_contains_intermediate_results(self, optimizer, chain_query_4):
+        optimizer.run(max_steps=5)
+        cache = optimizer.plan_cache
+        assert len(cache) > 1
+        assert all(rel <= chain_query_4.relations for rel in cache.table_sets())
+
+    def test_beats_random_sampling_with_same_plan_budget(self, cycle_model):
+        """RMQ should dominate naive random sampling given comparable effort."""
+        from repro.baselines.random_sampling import RandomSamplingOptimizer
+        from repro.pareto.epsilon import approximation_error
+        from repro.pareto.frontier import pareto_filter
+
+        rmq = RMQOptimizer(cycle_model, rng=random.Random(7))
+        rmq.run(max_steps=10)
+        sampler = RandomSamplingOptimizer(cycle_model, rng=random.Random(7), plans_per_step=30)
+        sampler.run(max_steps=10)
+
+        rmq_costs = [plan.cost for plan in rmq.frontier()]
+        sample_costs = [plan.cost for plan in sampler.frontier()]
+        reference = pareto_filter(rmq_costs + sample_costs)
+        rmq_error = approximation_error(rmq_costs, reference)
+        sample_error = approximation_error(sample_costs, reference)
+        assert rmq_error <= sample_error
+
+
+class TestVariants:
+    def test_left_deep_variant(self, chain_model, chain_query_4):
+        optimizer = RMQOptimizer(chain_model, rng=random.Random(3), left_deep_only=True)
+        optimizer.run(max_steps=3)
+        assert optimizer.frontier()
+
+    def test_no_climbing_variant(self, chain_model):
+        optimizer = RMQOptimizer(chain_model, rng=random.Random(3), use_climbing=False)
+        optimizer.run(max_steps=3)
+        assert optimizer.frontier()
+        assert all(length == 0 for length in optimizer.climb_path_lengths)
+
+    def test_no_cache_variant_keeps_only_complete_plans(self, chain_model, chain_query_4):
+        optimizer = RMQOptimizer(chain_model, rng=random.Random(3), use_plan_cache=False)
+        optimizer.run(max_steps=4)
+        assert optimizer.frontier()
+        # Partial plans are dropped at the start of each iteration; after the
+        # last frontier approximation only table sets used by the last plan
+        # remain, which is at most 2n - 1 of them.
+        assert len(optimizer.plan_cache) <= 2 * chain_query_4.num_tables - 1
+
+    def test_custom_schedule_used(self, chain_model):
+        optimizer = RMQOptimizer(
+            chain_model, rng=random.Random(3), schedule=AlphaSchedule.constant(1.0)
+        )
+        coarse = RMQOptimizer(
+            chain_model, rng=random.Random(3), schedule=AlphaSchedule.constant(25.0)
+        )
+        optimizer.run(max_steps=5)
+        coarse.run(max_steps=5)
+        assert len(optimizer.frontier()) >= len(coarse.frontier())

@@ -1,0 +1,76 @@
+"""Tests for repro.pareto.selection (preference-based plan selection)."""
+
+import random
+
+import pytest
+
+from repro.core.rmq import RMQOptimizer
+from repro.pareto.selection import NoFeasiblePlanError, filter_by_bounds, select_plan
+
+
+@pytest.fixture
+def frontier(chain_model):
+    optimizer = RMQOptimizer(chain_model, rng=random.Random(2))
+    return optimizer.run(max_steps=8)
+
+
+class TestFilterByBounds:
+    def test_unbounded_keeps_everything(self, frontier):
+        kept = filter_by_bounds(frontier, [None, None, None])
+        assert len(kept) == len(frontier)
+
+    def test_tight_bound_filters(self, frontier):
+        best_time = min(plan.cost[0] for plan in frontier)
+        kept = filter_by_bounds(frontier, [best_time, None, None])
+        assert kept
+        assert all(plan.cost[0] <= best_time for plan in kept)
+
+    def test_impossible_bound_filters_everything(self, frontier):
+        assert filter_by_bounds(frontier, [0.0, None, None]) == []
+
+    def test_wrong_arity_rejected(self, frontier):
+        with pytest.raises(ValueError):
+            filter_by_bounds(frontier, [None])
+
+
+class TestSelectPlan:
+    def test_uniform_weights_pick_some_plan(self, frontier):
+        plan = select_plan(frontier)
+        assert plan in frontier
+
+    def test_extreme_weight_picks_metric_minimizer(self, frontier):
+        fastest = min(frontier, key=lambda p: p.cost[0])
+        selected = select_plan(frontier, weights=[1.0, 0.0, 0.0])
+        assert selected.cost[0] == pytest.approx(fastest.cost[0])
+
+    def test_bounds_respected(self, frontier):
+        time_bound = sorted(plan.cost[0] for plan in frontier)[len(frontier) // 2]
+        plan = select_plan(frontier, bounds=[time_bound, None, None])
+        assert plan.cost[0] <= time_bound
+
+    def test_infeasible_bounds_raise(self, frontier):
+        with pytest.raises(NoFeasiblePlanError):
+            select_plan(frontier, bounds=[0.0, 0.0, 0.0])
+
+    def test_empty_candidate_set_raises(self):
+        with pytest.raises(NoFeasiblePlanError):
+            select_plan([])
+
+    def test_invalid_weights_rejected(self, frontier):
+        with pytest.raises(ValueError):
+            select_plan(frontier, weights=[1.0])
+        with pytest.raises(ValueError):
+            select_plan(frontier, weights=[-1.0, 1.0, 1.0])
+        with pytest.raises(ValueError):
+            select_plan(frontier, weights=[0.0, 0.0, 0.0])
+
+    def test_normalization_changes_scale_sensitivity(self, frontier):
+        # Without normalization, the metric with the largest absolute values
+        # (time in this model) dominates a uniform-weight selection.
+        raw = select_plan(frontier, normalize=False)
+        fastest = min(frontier, key=lambda p: p.cost[0])
+        assert raw.cost[0] <= fastest.cost[0] * (1 + 1e-9) or len(frontier) == 1
+
+    def test_selected_plan_is_pareto_member(self, frontier):
+        plan = select_plan(frontier, weights=[0.2, 0.5, 0.3])
+        assert any(plan is candidate for candidate in frontier)

@@ -1,0 +1,60 @@
+"""Tests for repro.bench.statistics (Figure 3 statistics)."""
+
+import pytest
+
+from repro.bench.statistics import Figure3Result, run_figure3_statistics
+from repro.query.join_graph import GraphShape
+
+
+@pytest.fixture(scope="module")
+def small_figure3():
+    return run_figure3_statistics(
+        shapes=(GraphShape.CHAIN, GraphShape.STAR),
+        table_counts=(4, 8),
+        num_test_cases=2,
+        iterations_per_case=3,
+        seed=11,
+    )
+
+
+class TestFigure3Statistics:
+    def test_result_covers_grid(self, small_figure3):
+        assert set(small_figure3.median_path_length) == {
+            (GraphShape.CHAIN, 4),
+            (GraphShape.CHAIN, 8),
+            (GraphShape.STAR, 4),
+            (GraphShape.STAR, 8),
+        }
+        assert set(small_figure3.median_pareto_plans) == set(
+            small_figure3.median_path_length
+        )
+
+    def test_path_lengths_are_non_negative_and_small(self, small_figure3):
+        for value in small_figure3.median_path_length.values():
+            assert 0 <= value < 50
+
+    def test_pareto_plan_counts_positive(self, small_figure3):
+        for value in small_figure3.median_pareto_plans.values():
+            assert value >= 1
+
+    def test_report_formatting(self, small_figure3):
+        report = small_figure3.format_report()
+        assert "path length" in report
+        assert "chain" in report
+        assert str(8) in report
+
+    def test_result_type(self, small_figure3):
+        assert isinstance(small_figure3, Figure3Result)
+
+    def test_larger_queries_have_no_shorter_paths_on_average(self):
+        """Path length grows (slowly) with the query size (Theorem 2 trend)."""
+        result = run_figure3_statistics(
+            shapes=(GraphShape.CHAIN,),
+            table_counts=(4, 12),
+            num_test_cases=3,
+            iterations_per_case=3,
+            seed=13,
+        )
+        small = result.median_path_length[(GraphShape.CHAIN, 4)]
+        large = result.median_path_length[(GraphShape.CHAIN, 12)]
+        assert large >= small - 1.0  # allow small-sample noise of one step

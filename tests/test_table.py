@@ -1,0 +1,55 @@
+"""Unit tests for repro.query.table."""
+
+import pytest
+
+from repro.query.table import DEFAULT_ROW_WIDTH_BYTES, PAGE_SIZE_BYTES, Table
+
+
+class TestTableConstruction:
+    def test_basic_attributes(self):
+        table = Table(index=3, name="orders", cardinality=1_000, row_width=200)
+        assert table.index == 3
+        assert table.name == "orders"
+        assert table.cardinality == 1_000
+        assert table.row_width == 200
+
+    def test_default_row_width(self):
+        table = Table(index=0, name="t", cardinality=10)
+        assert table.row_width == DEFAULT_ROW_WIDTH_BYTES
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Table(index=-1, name="t", cardinality=10)
+
+    def test_zero_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            Table(index=0, name="t", cardinality=0)
+
+    def test_negative_row_width_rejected(self):
+        with pytest.raises(ValueError):
+            Table(index=0, name="t", cardinality=10, row_width=-5)
+
+    def test_tables_are_hashable_and_frozen(self):
+        table = Table(index=0, name="t", cardinality=10)
+        assert hash(table) == hash(Table(index=0, name="t", cardinality=10))
+        with pytest.raises(AttributeError):
+            table.cardinality = 20  # type: ignore[misc]
+
+
+class TestTableDerivedSizes:
+    def test_bytes(self):
+        table = Table(index=0, name="t", cardinality=1_000, row_width=100)
+        assert table.bytes == 100_000
+
+    def test_pages_matches_bytes_over_page_size(self):
+        table = Table(index=0, name="t", cardinality=100_000, row_width=100)
+        assert table.pages == pytest.approx(100_000 * 100 / PAGE_SIZE_BYTES)
+
+    def test_pages_at_least_one(self):
+        tiny = Table(index=0, name="t", cardinality=1, row_width=1)
+        assert tiny.pages == 1.0
+
+    def test_pages_monotone_in_cardinality(self):
+        small = Table(index=0, name="s", cardinality=1_000)
+        large = Table(index=1, name="l", cardinality=100_000)
+        assert large.pages > small.pages

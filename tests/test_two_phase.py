@@ -1,0 +1,63 @@
+"""Tests for the 2P baseline (two-phase optimization)."""
+
+import random
+
+import pytest
+
+from repro.baselines.two_phase import TwoPhaseOptimizer
+from repro.pareto.dominance import strictly_dominates
+from repro.plans.validation import validate_plan
+
+
+@pytest.fixture
+def optimizer(chain_model):
+    return TwoPhaseOptimizer(chain_model, rng=random.Random(4), improvement_iterations=3)
+
+
+class TestTwoPhase:
+    def test_invalid_configuration_rejected(self, chain_model):
+        with pytest.raises(ValueError):
+            TwoPhaseOptimizer(chain_model, improvement_iterations=0)
+
+    def test_phase_switch_after_configured_iterations(self, optimizer):
+        assert not optimizer.in_second_phase
+        for _ in range(3):
+            optimizer.step()
+        assert not optimizer.in_second_phase
+        optimizer.step()
+        assert optimizer.in_second_phase
+
+    def test_frontier_contains_valid_plans(self, optimizer, chain_query_4, chain_model):
+        optimizer.run(max_steps=6)
+        frontier = optimizer.frontier()
+        assert frontier
+        for plan in frontier:
+            validate_plan(plan, chain_query_4, chain_model.library, chain_model.num_metrics)
+
+    def test_archive_is_non_dominated(self, optimizer):
+        optimizer.run(max_steps=8)
+        frontier = optimizer.frontier()
+        for first in frontier:
+            for second in frontier:
+                if first is second:
+                    continue
+                assert not strictly_dominates(first.cost, second.cost)
+
+    def test_archive_preserved_across_phase_switch(self, chain_model):
+        optimizer = TwoPhaseOptimizer(
+            chain_model, rng=random.Random(3), improvement_iterations=2
+        )
+        optimizer.run(max_steps=2)
+        best_phase_one = min(plan.cost[0] for plan in optimizer.frontier())
+        optimizer.run(max_steps=6)
+        best_after = min(plan.cost[0] for plan in optimizer.frontier())
+        assert best_after <= best_phase_one
+
+    def test_statistics_track_both_phases(self, optimizer):
+        optimizer.run(max_steps=6)
+        assert optimizer.statistics.steps == 6
+        assert optimizer.statistics.plans_built > 0
+
+    def test_default_improvement_iterations_match_paper(self, chain_model):
+        optimizer = TwoPhaseOptimizer(chain_model, rng=random.Random(1))
+        assert optimizer._improvement_iterations == 10

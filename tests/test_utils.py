@@ -1,0 +1,48 @@
+"""Tests for repro.utils (rng derivation, stopwatch)."""
+
+import time
+
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.timer import Stopwatch
+
+
+class TestDerivedSeeds:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_different_streams_differ(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_rng_reproducible(self):
+        first = derive_rng(5, "x").random()
+        second = derive_rng(5, "x").random()
+        assert first == second
+
+    def test_derive_rng_streams_independent(self):
+        values_a = [derive_rng(5, "a").random() for _ in range(1)]
+        values_b = [derive_rng(5, "b").random() for _ in range(1)]
+        assert values_a != values_b
+
+    def test_integer_and_string_parts_mix(self):
+        assert derive_seed(1, "case", 3) != derive_seed(1, "case", 4)
+
+
+class TestStopwatch:
+    def test_elapsed_increases(self):
+        watch = Stopwatch()
+        first = watch.elapsed
+        time.sleep(0.01)
+        assert watch.elapsed > first
+
+    def test_reset(self):
+        watch = Stopwatch()
+        time.sleep(0.01)
+        watch.reset()
+        assert watch.elapsed < 0.01
+
+    def test_exceeded(self):
+        watch = Stopwatch()
+        assert not watch.exceeded(10.0)
+        time.sleep(0.01)
+        assert watch.exceeded(0.005)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.cost.vector."""
+
+import pytest
+
+from repro.cost.vector import (
+    add_vectors,
+    component_means,
+    max_ratio,
+    mean_relative_difference,
+    scale_vector,
+    validate_cost_vector,
+)
+
+
+class TestValidation:
+    def test_valid_vector(self):
+        validate_cost_vector((1.0, 2.0, 0.0))
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ValueError):
+            validate_cost_vector(())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            validate_cost_vector((1.0, -0.1))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            validate_cost_vector((float("nan"),))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            validate_cost_vector((1.0, 2.0), num_metrics=3)
+
+
+class TestArithmetic:
+    def test_add_vectors(self):
+        assert add_vectors((1, 2), (3, 4), (5, 6)) == (9, 12)
+
+    def test_add_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            add_vectors((1, 2), (3,))
+
+    def test_add_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            add_vectors()
+
+    def test_scale(self):
+        assert scale_vector((1.0, 2.0), 2.5) == (2.5, 5.0)
+
+    def test_component_means(self):
+        assert component_means([(1.0, 4.0), (3.0, 0.0)]) == (2.0, 2.0)
+
+    def test_component_means_empty_rejected(self):
+        with pytest.raises(ValueError):
+            component_means([])
+
+    def test_component_means_length_mismatch(self):
+        with pytest.raises(ValueError):
+            component_means([(1.0,), (1.0, 2.0)])
+
+
+class TestRatios:
+    def test_max_ratio_basic(self):
+        assert max_ratio((2.0, 9.0), (1.0, 3.0)) == pytest.approx(3.0)
+
+    def test_max_ratio_handles_zero_denominator(self):
+        value = max_ratio((1.0,), (0.0,))
+        assert value > 1e6  # floored division, very large but finite
+
+    def test_max_ratio_zero_numerator(self):
+        assert max_ratio((0.0,), (5.0,)) < 1.0
+
+    def test_max_ratio_length_mismatch(self):
+        with pytest.raises(ValueError):
+            max_ratio((1.0,), (1.0, 2.0))
+
+    def test_mean_relative_difference_sign(self):
+        assert mean_relative_difference((2.0, 2.0), (1.0, 1.0)) == pytest.approx(1.0)
+        assert mean_relative_difference((0.5, 0.5), (1.0, 1.0)) == pytest.approx(-0.5)
+        assert mean_relative_difference((1.0, 1.0), (1.0, 1.0)) == pytest.approx(0.0)
+
+    def test_mean_relative_difference_mixed(self):
+        # +100% on the first metric, -50% on the second → +25% average.
+        assert mean_relative_difference((2.0, 1.0), (1.0, 2.0)) == pytest.approx(0.25)
+
+    def test_mean_relative_difference_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_difference((1.0,), (1.0, 2.0))
