@@ -1,0 +1,151 @@
+"""Micro-benchmark M2: scalar vs. vectorized Pareto frontier insertion.
+
+Measures the throughput of inserting random cost vectors into a Pareto
+frontier three ways:
+
+* ``scalar``      — the pure-Python reference container
+  (:class:`repro.pareto.reference.ScalarParetoFrontier`), i.e. the seed
+  implementation,
+* ``vectorized``  — per-item inserts through the engine-backed
+  :class:`repro.pareto.frontier.ParetoFrontier` (adaptive scalar/NumPy
+  dispatch),
+* ``batch``       — one vectorized ``insert_all`` call (chunked batch kernel
+  with exact sequential semantics).
+
+Results are printed and written to ``BENCH_pareto.json`` in the repository
+root.  The acceptance bar for the engine is ``batch`` ≥ 3× ``scalar`` on
+1000 random 3-metric vectors.
+
+Run as a script (``python benchmarks/bench_micro_pareto.py``) or via pytest
+(``pytest benchmarks/bench_micro_pareto.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import timeit
+from typing import Dict, List, Tuple
+
+from repro.pareto.frontier import ParetoFrontier
+from repro.pareto.reference import ScalarParetoFrontier
+
+#: Repository root (this file lives in benchmarks/).
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pareto.json")
+
+NUM_VECTORS = 1000
+NUM_METRICS = 3
+REPEATS = 9
+SEED = 20160626
+
+
+def _random_vectors(
+    count: int = NUM_VECTORS, metrics: int = NUM_METRICS, seed: int = SEED
+) -> List[Tuple[float, ...]]:
+    rng = random.Random(seed)
+    return [
+        tuple(rng.random() * 100.0 for _ in range(metrics)) for _ in range(count)
+    ]
+
+
+def _scalar_insert(vectors) -> list:
+    frontier: ScalarParetoFrontier = ScalarParetoFrontier()
+    for vector in vectors:
+        frontier.insert(vector)
+    return frontier.items()
+
+
+def _vectorized_insert(vectors) -> list:
+    frontier: ParetoFrontier = ParetoFrontier()
+    for vector in vectors:
+        frontier.insert(vector)
+    return frontier.items()
+
+
+def _batch_insert(vectors) -> list:
+    frontier: ParetoFrontier = ParetoFrontier()
+    frontier.insert_all(vectors)
+    return frontier.items()
+
+
+def run_benchmark(write_json: bool = True) -> Dict[str, object]:
+    """Measure the three insertion paths and return (and persist) the results."""
+    vectors = _random_vectors()
+    results = {
+        "scalar": _scalar_insert(vectors),
+        "vectorized": _vectorized_insert(vectors),
+        "batch": _batch_insert(vectors),
+    }
+    assert results["scalar"] == results["vectorized"] == results["batch"], (
+        "insertion paths disagree on the final frontier"
+    )
+
+    timings = {
+        name: min(timeit.repeat(runner, number=1, repeat=REPEATS))
+        for name, runner in (
+            ("scalar", lambda: _scalar_insert(vectors)),
+            ("vectorized", lambda: _vectorized_insert(vectors)),
+            ("batch", lambda: _batch_insert(vectors)),
+        )
+    }
+    report: Dict[str, object] = {
+        "num_vectors": NUM_VECTORS,
+        "num_metrics": NUM_METRICS,
+        "seed": SEED,
+        "frontier_size": len(results["scalar"]),
+        "seconds": timings,
+        "inserts_per_second": {
+            name: NUM_VECTORS / seconds for name, seconds in timings.items()
+        },
+        "speedup_vs_scalar": {
+            "vectorized": timings["scalar"] / timings["vectorized"],
+            "batch": timings["scalar"] / timings["batch"],
+        },
+    }
+    if write_json:
+        with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def _format_report(report: Dict[str, object]) -> str:
+    seconds = report["seconds"]
+    speedups = report["speedup_vs_scalar"]
+    lines = [
+        f"Frontier insert micro-benchmark "
+        f"({report['num_vectors']} random {report['num_metrics']}-metric vectors, "
+        f"final frontier size {report['frontier_size']}):",
+        f"  scalar     {seconds['scalar'] * 1e3:8.2f} ms",
+        f"  vectorized {seconds['vectorized'] * 1e3:8.2f} ms "
+        f"({speedups['vectorized']:.2f}x)",
+        f"  batch      {seconds['batch'] * 1e3:8.2f} ms "
+        f"({speedups['batch']:.2f}x)",
+    ]
+    return "\n".join(lines)
+
+
+def test_batch_insert_beats_scalar():
+    """The vectorized batch path must clearly beat the scalar reference.
+
+    The headline number (≥ 3× on this machine class) is recorded in
+    ``BENCH_pareto.json``; the assertion uses a lower bar so the check stays
+    robust on loaded CI runners.
+    """
+    report = run_benchmark()
+    print()
+    print(_format_report(report))
+    assert report["speedup_vs_scalar"]["batch"] > 1.5
+
+
+def main() -> int:
+    report = run_benchmark()
+    print(_format_report(report))
+    print(f"[results written to {RESULT_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

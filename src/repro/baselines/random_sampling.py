@@ -39,11 +39,17 @@ class RandomSamplingOptimizer(AnytimeOptimizer):
         self._archive: ParetoFrontier[Plan] = ParetoFrontier(cost_of=lambda plan: plan.cost)
 
     def step(self) -> None:
-        """Sample a batch of random plans and archive the non-dominated ones."""
+        """Sample a batch of random plans and archive the non-dominated ones.
+
+        The whole batch goes through one vectorized frontier insertion
+        (identical result to inserting one by one).
+        """
+        batch = []
         for _ in range(self._plans_per_step):
             plan = self._generator.random_bushy_plan()
             self.statistics.plans_built += plan.num_nodes
-            self._archive.insert(plan)
+            batch.append(plan)
+        self._archive.insert_all(batch)
         self.statistics.steps += 1
 
     def frontier(self) -> List[Plan]:

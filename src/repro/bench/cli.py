@@ -44,6 +44,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None, help="override the scenario base seed"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "run the grid cells on N worker processes (default: sequential; "
+            "ignored by figure3, which is a single statistics run). "
+            "Note: with wall-clock budgets, concurrent cells share CPU, so "
+            "medians can shift versus a sequential run"
+        ),
+    )
     return parser
 
 
@@ -51,6 +62,8 @@ def run(argv: Sequence[str] | None = None) -> str:
     """Run the selected figure and return its text report."""
     args = build_parser().parse_args(argv)
     scale = ScenarioScale(args.scale)
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
 
     if args.figure == "figure3":
         if scale is ScenarioScale.PAPER:
@@ -71,6 +84,8 @@ def run(argv: Sequence[str] | None = None) -> str:
     spec = figures.FIGURE_SPECS[args.figure](scale)
     if args.seed is not None:
         spec = dataclasses.replace(spec, seed=args.seed)
+    if args.workers is not None:
+        spec = dataclasses.replace(spec, workers=args.workers)
     result = run_scenario(spec)
     return format_scenario_report(result) + "\n" + summarize_winners(result)
 

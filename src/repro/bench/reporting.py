@@ -24,14 +24,24 @@ def _format_error(value: float) -> str:
 def format_scenario_report(result: ScenarioResult) -> str:
     """Render a scenario result as a human-readable text table."""
     spec = result.spec
+    step_driven = spec.step_checkpoints is not None
     lines: List[str] = []
     lines.append(f"Scenario: {spec.name} — {spec.description}")
+    if step_driven:
+        budget = f"budget={spec.step_checkpoints[-1]} steps"
+    else:
+        budget = f"budget={spec.time_budget:g}s"
     lines.append(
         f"metrics={spec.num_metrics}  selectivity={spec.selectivity_model}  "
-        f"test cases={spec.num_test_cases}  budget={spec.time_budget:g}s  scale={spec.scale}"
+        f"test cases={spec.num_test_cases}  {budget}  scale={spec.scale}"
     )
     lines.append("")
-    checkpoint_header = "  ".join(f"t={t:g}s" for t in spec.checkpoints)
+    if step_driven:
+        checkpoint_header = "  ".join(
+            f"step={count}" for count in spec.step_checkpoints
+        )
+    else:
+        checkpoint_header = "  ".join(f"t={t:g}s" for t in spec.checkpoints)
     for shape in spec.graph_shapes:
         for num_tables in spec.table_counts:
             lines.append(f"--- {str(shape).capitalize()}, {num_tables} tables ---")

@@ -7,18 +7,30 @@ checkpoints, builds the per-test-case reference frontier, computes the
 approximation error of every snapshot against that reference, and finally
 reports the median error per (cell, algorithm, checkpoint) — the quantity the
 paper plots.
+
+Grid cells are mutually independent: every random stream is derived from the
+scenario seed and the cell coordinates (:func:`repro.utils.rng.derive_rng`),
+never from execution order.  :func:`run_scenario` therefore treats the grid
+as a work-list of cell tasks and can execute it on a
+``concurrent.futures.ProcessPoolExecutor`` (``workers`` on the spec, the CLI,
+or the call).  The default ``workers=1`` keeps the original strictly
+sequential path, so existing results stay bit-identical; with
+``step_checkpoints`` set on the spec, cells are driven by iteration counts
+instead of wall-clock time and any worker count reproduces the sequential
+output exactly.
 """
 
 from __future__ import annotations
 
 import random
 import statistics as stats
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.baselines import make_optimizer
 from repro.baselines.nsga2 import NSGA2Optimizer
-from repro.bench.anytime import CheckpointRecord, evaluate_anytime
+from repro.bench.anytime import CheckpointRecord, evaluate_anytime, evaluate_steps
 from repro.bench.reference import dp_reference_frontier, union_reference_frontier
 from repro.bench.scenario import ScenarioScale, ScenarioSpec
 from repro.core.frontier import AlphaSchedule
@@ -101,12 +113,41 @@ def build_optimizer(
     return make_optimizer(name, cost_model, rng)
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Run a full scenario and return aggregated per-cell medians."""
+def run_scenario(spec: ScenarioSpec, workers: int | None = None) -> ScenarioResult:
+    """Run a full scenario and return aggregated per-cell medians.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to execute.
+    workers:
+        Overrides ``spec.workers`` when given.  ``1`` runs the grid cells
+        strictly sequentially in-process (the original path); ``N > 1``
+        executes the independent cell tasks on a process pool.  Cell order in
+        the result is the grid order either way, and with step-based
+        checkpoints the results are identical for every worker count.
+    """
+    effective_workers = spec.workers if workers is None else workers
+    if effective_workers < 1:
+        raise ValueError("workers must be at least 1")
+    tasks = [
+        (shape, num_tables)
+        for shape in spec.graph_shapes
+        for num_tables in spec.table_counts
+    ]
     cells: List[CellResult] = []
-    for shape in spec.graph_shapes:
-        for num_tables in spec.table_counts:
+    if effective_workers == 1 or len(tasks) == 1:
+        for shape, num_tables in tasks:
             cells.extend(_run_cell(spec, shape, num_tables))
+    else:
+        max_workers = min(effective_workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(_run_cell, spec, shape, num_tables)
+                for shape, num_tables in tasks
+            ]
+            for future in futures:
+                cells.extend(future.result())
     return ScenarioResult(spec=spec, cells=tuple(cells))
 
 
@@ -126,9 +167,14 @@ def _run_cell(
         for algorithm in spec.algorithms:
             rng = derive_rng(spec.seed, "algo", algorithm, str(shape), num_tables, case_index)
             optimizer = build_optimizer(algorithm, cost_model, rng, spec)
-            case_records[algorithm] = evaluate_anytime(
-                optimizer, spec.checkpoints, spec.time_budget
-            )
+            if spec.step_checkpoints is not None:
+                case_records[algorithm] = evaluate_steps(
+                    optimizer, spec.step_checkpoints
+                )
+            else:
+                case_records[algorithm] = evaluate_anytime(
+                    optimizer, spec.checkpoints, spec.time_budget
+                )
         reference = _build_reference(spec, cost_model, case_records)
         for algorithm in spec.algorithms:
             error_series, size_series = _error_series(
@@ -137,6 +183,10 @@ def _run_cell(
             errors[algorithm].append(error_series)
             sizes[algorithm].append(size_series)
 
+    if spec.step_checkpoints is not None:
+        checkpoint_values = tuple(float(count) for count in spec.step_checkpoints)
+    else:
+        checkpoint_values = tuple(spec.checkpoints)
     results: List[CellResult] = []
     for algorithm in spec.algorithms:
         median_errors = _median_over_cases(errors[algorithm])
@@ -146,7 +196,7 @@ def _run_cell(
                 shape=shape,
                 num_tables=num_tables,
                 algorithm=algorithm,
-                checkpoints=tuple(spec.checkpoints),
+                checkpoints=checkpoint_values,
                 median_errors=tuple(median_errors),
                 median_frontier_sizes=tuple(median_sizes),
             )
@@ -225,20 +275,18 @@ def _error_series(
 
 
 def _median_over_cases(series_per_case: List[List[float]]) -> List[float]:
-    """Per-checkpoint median over test cases (cases are rows, checkpoints columns)."""
+    """Per-checkpoint median over test cases (cases are rows, checkpoints columns).
+
+    Infinite values (algorithms that produced no plans within the budget)
+    participate in the median as-is: ``inf`` sorts last, so a mixed
+    finite/infinite column has a well-defined median, an even split averages
+    to ``inf``, and an all-infinite column reports ``inf`` — no special
+    casing needed (pinned by ``tests/test_runner.py::TestMedianOverCases``).
+    """
     if not series_per_case:
         return []
     num_checkpoints = len(series_per_case[0])
-    medians = []
-    for checkpoint_index in range(num_checkpoints):
-        values = [series[checkpoint_index] for series in series_per_case]
-        finite = [value for value in values if value != float("inf")]
-        if not finite:
-            medians.append(float("inf"))
-        elif len(finite) < len(values):
-            # Mixed finite/infinite: the median of the raw values is still
-            # well defined because inf sorts last.
-            medians.append(stats.median(values))
-        else:
-            medians.append(stats.median(values))
-    return medians
+    return [
+        stats.median([series[index] for series in series_per_case])
+        for index in range(num_checkpoints)
+    ]

@@ -71,6 +71,21 @@ class ScenarioSpec:
         NSGA-II population size (200 in the paper, smaller at reduced scales).
     seed:
         Base seed; all randomness of the scenario derives from it.
+    workers:
+        Number of worker processes used to execute the grid cells.  ``1``
+        (the default) keeps the original strictly sequential path; with
+        ``N > 1`` the independent (shape, size) cells run on a process pool.
+        Per-cell randomness is derived from ``seed`` and the cell coordinates
+        alone, never from execution order — but wall-clock budgets remain
+        load-sensitive (concurrent cells get less CPU per second, so anytime
+        loops fit fewer iterations), so results are guaranteed identical for
+        every worker count only when ``step_checkpoints`` drives the run.
+    step_checkpoints:
+        Optional iteration-count checkpoints.  When given, every algorithm is
+        driven for exactly these step counts (instead of the wall-clock
+        ``time_budget``/``checkpoints``), which makes the whole scenario
+        fully deterministic — ``run_scenario`` then returns bit-identical
+        results for every worker count.
     """
 
     name: str
@@ -91,6 +106,8 @@ class ScenarioSpec:
     seed: int = 20160626
     scale: ScenarioScale = ScenarioScale.DEFAULT
     extra: Tuple[Tuple[str, str], ...] = field(default=())
+    workers: int = 1
+    step_checkpoints: Tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.graph_shapes:
@@ -117,6 +134,15 @@ class ScenarioSpec:
             raise ValueError("checkpoints must be sorted ascending")
         if self.error_cap is not None and self.error_cap < 1.0:
             raise ValueError("error cap must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.step_checkpoints is not None:
+            if not self.step_checkpoints:
+                raise ValueError("step checkpoints must be non-empty when given")
+            if any(count < 1 for count in self.step_checkpoints):
+                raise ValueError("step checkpoints must be positive step counts")
+            if tuple(sorted(self.step_checkpoints)) != tuple(self.step_checkpoints):
+                raise ValueError("step checkpoints must be sorted ascending")
 
     # ------------------------------------------------------------ utilities
     @property

@@ -32,6 +32,7 @@ from typing import Dict, List
 
 from repro.cost.model import PlanFactory
 from repro.pareto.dominance import strictly_dominates
+from repro.pareto.engine import SMALL_SET_SIZE, as_cost_matrix, dominance_fold
 from repro.plans.operators import DataFormat
 from repro.plans.plan import JoinPlan, Plan
 from repro.plans.transformations import TransformationRules
@@ -155,10 +156,22 @@ class ParetoClimber:
         When two candidates of the same representation are mutually
         non-dominated the incumbent is kept; Section 4.2 explicitly allows
         selecting an arbitrary non-dominated neighbor instead of branching.
+        Large candidate groups resolve the sequential fold through the
+        vectorized :func:`repro.pareto.engine.dominance_fold`, which selects
+        exactly the same plan as the scalar loop.
         """
-        best: Dict[DataFormat, Plan] = {}
+        groups: Dict[DataFormat, List[Plan]] = {}
         for candidate in candidates:
-            incumbent = best.get(candidate.output_format)
-            if incumbent is None or strictly_dominates(candidate.cost, incumbent.cost):
-                best[candidate.output_format] = candidate
+            groups.setdefault(candidate.output_format, []).append(candidate)
+        best: Dict[DataFormat, Plan] = {}
+        for output_format, group in groups.items():
+            if len(group) > SMALL_SET_SIZE:
+                costs = as_cost_matrix([plan.cost for plan in group])
+                best[output_format] = group[dominance_fold(costs)]
+                continue
+            incumbent = group[0]
+            for candidate in group[1:]:
+                if strictly_dominates(candidate.cost, incumbent.cost):
+                    incumbent = candidate
+            best[output_format] = incumbent
         return best

@@ -12,6 +12,13 @@ generating it.  Insertion follows Algorithm 3's pruning function:
 With α > 1 the cache therefore stores an α-approximate Pareto set per table
 set, whose size is bounded polynomially in the number of tables (Lemma 6);
 with α = 1 it stores the exact non-dominated set.
+
+Each per-table-set entry is backed by a vectorized
+:class:`repro.pareto.engine.ParetoSet` whose rows are tagged with the plan's
+output data representation, so the ``SigBetter`` comparison (same format and
+α-dominant cost) runs as one batched kernel call once an entry grows beyond
+a handful of plans.  Plan insertion order — and therefore every downstream
+iteration order — is identical to the original pure-Python implementation.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.pareto.dominance import approx_dominates, dominates
+from repro.pareto.engine import ParetoSet
 from repro.plans.plan import Plan
 
 
@@ -26,13 +34,20 @@ class PlanCache:
     """Cache of non-dominated partial plans per intermediate result."""
 
     def __init__(self) -> None:
-        self._entries: Dict[FrozenSet[int], List[Plan]] = {}
+        self._entries: Dict[FrozenSet[int], Tuple[List[Plan], ParetoSet]] = {}
+        # Output formats are compared by identity (``is``), exactly like the
+        # original ``SigBetter``; each distinct format object gets a small
+        # integer tag used by the kernel.  The reference list pins the keyed
+        # objects so id() values stay unique.
+        self._format_tags: Dict[int, int] = {}
+        self._format_refs: List[object] = []
 
     # ------------------------------------------------------------ accessors
     def plans(self, relations: FrozenSet[int] | Iterable[int]) -> List[Plan]:
         """Cached plans joining exactly the given table set (``P[rel]``)."""
         key = frozenset(relations)
-        return list(self._entries.get(key, ()))
+        entry = self._entries.get(key)
+        return list(entry[0]) if entry is not None else []
 
     def table_sets(self) -> List[FrozenSet[int]]:
         """All intermediate results that currently have cached plans."""
@@ -50,11 +65,12 @@ class PlanCache:
     @property
     def total_plans(self) -> int:
         """Total number of cached partial plans over all intermediate results."""
-        return sum(len(plans) for plans in self._entries.values())
+        return sum(len(plans) for plans, _ in self._entries.values())
 
     def size_of(self, relations: FrozenSet[int] | Iterable[int]) -> int:
         """Number of cached plans for one intermediate result."""
-        return len(self._entries.get(frozenset(relations), ()))
+        entry = self._entries.get(frozenset(relations))
+        return len(entry[0]) if entry is not None else 0
 
     # -------------------------------------------------------------- updates
     def insert(self, plan: Plan, alpha: float = 1.0) -> bool:
@@ -67,14 +83,25 @@ class PlanCache:
         if alpha < 1.0:
             raise ValueError(f"approximation factor must be at least 1, got {alpha}")
         key = plan.rel
-        cached = self._entries.setdefault(key, [])
-        for existing in cached:
-            if self._sig_better(existing, plan, alpha):
-                return False
-        cached[:] = [
-            existing for existing in cached if not self._sig_better(plan, existing, 1.0)
-        ]
-        cached.append(plan)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = ([], ParetoSet())
+            self._entries[key] = entry
+        plans, costs = entry
+        accepted, evicted = costs.insert(
+            plan.cost, alpha=alpha, tag=self._format_tag(plan.output_format)
+        )
+        if not accepted:
+            return False
+        if evicted:
+            removed = set(evicted)
+            entry = (
+                [p for index, p in enumerate(plans) if index not in removed],
+                costs,
+            )
+            self._entries[key] = entry
+            plans = entry[0]
+        plans.append(plan)
         return True
 
     def insert_all(self, plans: Iterable[Plan], alpha: float = 1.0) -> int:
@@ -93,9 +120,20 @@ class PlanCache:
         return [plan.cost for plan in self.plans(relations)]
 
     # ------------------------------------------------------------ internals
+    def _format_tag(self, output_format: object) -> int:
+        tag = self._format_tags.get(id(output_format))
+        if tag is None:
+            tag = len(self._format_refs)
+            self._format_tags[id(output_format)] = tag
+            self._format_refs.append(output_format)
+        return tag
+
     @staticmethod
     def _sig_better(first: Plan, second: Plan, alpha: float) -> bool:
-        """``SigBetter`` from Algorithm 3: same output format and α-dominant cost."""
+        """``SigBetter`` from Algorithm 3: same output format and α-dominant cost.
+
+        Kept as the scalar specification of the tagged kernel comparison.
+        """
         if first.output_format is not second.output_format:
             return False
         if alpha == 1.0:

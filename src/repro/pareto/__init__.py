@@ -5,6 +5,16 @@ approximate dominance with factor alpha), Pareto frontier containers with the
 two pruning policies used by Algorithms 2 and 3, the approximation-error
 indicator used throughout the evaluation (Section 6.1), and a hypervolume
 indicator as an additional quality measure.
+
+The package is split into a hot numeric kernel and the algorithm-facing
+containers built on top of it:
+
+* :mod:`repro.pareto.engine` — NumPy-backed batched dominance, frontier
+  storage (:class:`~repro.pareto.engine.ParetoSet`), the vectorized ε
+  indicator, and hypervolume sweeps;
+* :mod:`repro.pareto.reference` — the original pure-Python implementations,
+  kept as the executable specification the engine is property-tested
+  against.
 """
 
 from repro.pareto.dominance import (
@@ -12,13 +22,15 @@ from repro.pareto.dominance import (
     dominates,
     strictly_dominates,
 )
+from repro.pareto.engine import ParetoSet, as_cost_matrix
 from repro.pareto.frontier import ParetoFrontier, pareto_filter
 from repro.pareto.epsilon import (
     approximation_error,
     approximation_error_of_plans,
+    approximation_error_scalar,
     is_alpha_approximation,
 )
-from repro.pareto.hypervolume import hypervolume
+from repro.pareto.hypervolume import hypervolume, hypervolume_scalar
 from repro.pareto.selection import NoFeasiblePlanError, filter_by_bounds, select_plan
 
 __all__ = [
@@ -29,9 +41,13 @@ __all__ = [
     "strictly_dominates",
     "approx_dominates",
     "ParetoFrontier",
+    "ParetoSet",
+    "as_cost_matrix",
     "pareto_filter",
     "approximation_error",
+    "approximation_error_scalar",
     "approximation_error_of_plans",
     "is_alpha_approximation",
     "hypervolume",
+    "hypervolume_scalar",
 ]

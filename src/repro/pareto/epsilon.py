@@ -14,13 +14,20 @@ and the worst such coverage factor over all reference points is reported.
 ``error = 1`` means the produced set covers the whole reference frontier.
 An empty produced set yields ``float('inf')`` (matching how the paper treats
 algorithms that returned no plans within the time budget).
+
+The live implementation evaluates the double loop as one batched NumPy
+reduction (:func:`repro.pareto.engine.approximation_error_matrix`);
+:func:`approximation_error_scalar` keeps the original pure-Python version as
+the reference the engine is property-tested against — the two are
+bit-identical on equal inputs, not merely close.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.cost.vector import max_ratio
+from repro.cost.vector import RATIO_FLOOR, max_ratio
+from repro.pareto import engine
 from repro.pareto.dominance import approx_dominates
 from repro.plans.plan import Plan
 
@@ -55,6 +62,24 @@ def approximation_error(
         raise ValueError("the reference frontier must not be empty")
     if not produced_list:
         return float("inf")
+    produced_matrix = engine.as_cost_matrix(produced_list)
+    reference_matrix = engine.as_cost_matrix(reference_list)
+    return engine.approximation_error_matrix(
+        produced_matrix, reference_matrix, ratio_floor=RATIO_FLOOR
+    )
+
+
+def approximation_error_scalar(
+    produced: Iterable[Sequence[float]],
+    reference: Iterable[Sequence[float]],
+) -> float:
+    """Pure-Python reference implementation of :func:`approximation_error`."""
+    produced_list: List[Tuple[float, ...]] = [tuple(c) for c in produced]
+    reference_list: List[Tuple[float, ...]] = [tuple(c) for c in reference]
+    if not reference_list:
+        raise ValueError("the reference frontier must not be empty")
+    if not produced_list:
+        return float("inf")
     worst = 1.0
     for reference_cost in reference_list:
         best_cover = min(
@@ -78,6 +103,27 @@ def is_alpha_approximation(
     alpha: float,
 ) -> bool:
     """Return whether every reference point is α-dominated by a produced point."""
+    if alpha < 1.0:
+        raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+    produced_list = [tuple(c) for c in produced]
+    reference_list = [tuple(c) for c in reference]
+    if not reference_list:
+        raise ValueError("the reference frontier must not be empty")
+    if not produced_list:
+        return False
+    produced_matrix = engine.as_cost_matrix(produced_list)
+    reference_matrix = engine.as_cost_matrix(reference_list)
+    if produced_matrix.shape[1] != reference_matrix.shape[1]:
+        raise ValueError("cost vectors must have the same length")
+    return engine.alpha_coverage(produced_matrix, reference_matrix, alpha)
+
+
+def is_alpha_approximation_scalar(
+    produced: Iterable[Sequence[float]],
+    reference: Iterable[Sequence[float]],
+    alpha: float,
+) -> bool:
+    """Pure-Python reference implementation of :func:`is_alpha_approximation`."""
     produced_list = [tuple(c) for c in produced]
     reference_list = [tuple(c) for c in reference]
     if not reference_list:

@@ -13,15 +13,28 @@ Two pruning policies appear in the paper:
 giving an exact frontier) over arbitrary items carrying a cost vector;
 :func:`pareto_filter` is a convenience for one-shot filtering of cost-vector
 collections.
+
+Storage and comparisons are delegated to the NumPy kernel in
+:mod:`repro.pareto.engine` (a :class:`~repro.pareto.engine.ParetoSet` keeps
+the cost rows contiguous and answers dominance queries in batch); the
+pure-Python implementation this replaces is preserved as
+:class:`repro.pareto.reference.ScalarParetoFrontier` and property-tested to
+agree.  ``insert_all`` with an exact frontier takes a fully vectorized batch
+path whose result — kept items, order, and acceptance count — is identical
+to sequential insertion.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Generic, Iterable, Iterator, List, Sequence, Tuple, TypeVar
 
-from repro.pareto.dominance import approx_dominates, dominates, strictly_dominates
+from repro.pareto.engine import ParetoSet
 
 ItemT = TypeVar("ItemT")
+
+
+def _identity(item):  # default cost extractor: items are the cost vectors
+    return item
 
 
 class ParetoFrontier(Generic[ItemT]):
@@ -41,7 +54,7 @@ class ParetoFrontier(Generic[ItemT]):
 
     def __init__(
         self,
-        cost_of: Callable[[ItemT], Sequence[float]] = lambda item: item,  # type: ignore[assignment,return-value]
+        cost_of: Callable[[ItemT], Sequence[float]] = _identity,  # type: ignore[assignment]
         alpha: float = 1.0,
     ) -> None:
         if alpha < 1.0:
@@ -49,6 +62,7 @@ class ParetoFrontier(Generic[ItemT]):
         self._cost_of = cost_of
         self._alpha = alpha
         self._items: List[ItemT] = []
+        self._set = ParetoSet()
 
     # ------------------------------------------------------------ accessors
     @property
@@ -86,41 +100,61 @@ class ParetoFrontier(Generic[ItemT]):
         When the item is inserted, existing items it (exactly) dominates are
         removed.  Returns True if the item was inserted.
         """
-        cost = tuple(self._cost_of(item))
-        for existing in self._items:
-            if approx_dominates(tuple(self._cost_of(existing)), cost, self._alpha):
-                return False
-        self._items = [
-            existing
-            for existing in self._items
-            if not dominates(cost, tuple(self._cost_of(existing)))
-        ]
+        accepted, evicted = self._set.insert(self._cost_of(item), alpha=self._alpha)
+        if not accepted:
+            return False
+        if evicted:
+            removed = set(evicted)
+            self._items = [
+                existing
+                for index, existing in enumerate(self._items)
+                if index not in removed
+            ]
         self._items.append(item)
         return True
 
     def insert_all(self, items: Iterable[ItemT]) -> int:
-        """Insert several items; returns how many were kept."""
-        return sum(1 for item in items if self.insert(item))
+        """Insert several items; returns how many were accepted.
+
+        With an exact frontier (``alpha == 1``) the whole batch is processed
+        by one vectorized kernel call; the kept items, their order, and the
+        returned count are identical to inserting one by one.
+        """
+        batch = list(items)
+        if not batch:
+            return 0
+        if self._alpha == 1.0 and len(batch) > 1:
+            if self._cost_of is _identity:
+                costs: Sequence[Sequence[float]] = batch  # type: ignore[assignment]
+            else:
+                costs = [self._cost_of(item) for item in batch]
+            try:
+                accepted, kept_indices, surviving = self._set.insert_batch(costs)
+            except ValueError:
+                # Ragged or mismatched cost vectors: replay sequentially so
+                # the error surfaces exactly where scalar insertion raises it
+                # (insert_batch does not mutate state before raising).
+                return sum(1 for item in batch if self.insert(item))
+            self._items = [
+                item for item, kept in zip(self._items, surviving) if kept
+            ] + [batch[index] for index in kept_indices]
+            return accepted
+        return sum(1 for item in batch if self.insert(item))
 
     def clear(self) -> None:
         """Remove all items."""
         self._items.clear()
+        self._set.clear()
 
     # ------------------------------------------------------------- queries
     def covers(self, cost: Sequence[float], alpha: float | None = None) -> bool:
         """Return whether some kept item α-dominates the given cost vector."""
         factor = self._alpha if alpha is None else alpha
-        return any(
-            approx_dominates(tuple(self._cost_of(item)), cost, factor)
-            for item in self._items
-        )
+        return self._set.covers(cost, factor)
 
     def dominated_by_any(self, cost: Sequence[float]) -> bool:
         """Return whether some kept item strictly dominates the cost vector."""
-        return any(
-            strictly_dominates(tuple(self._cost_of(item)), cost)
-            for item in self._items
-        )
+        return self._set.strictly_dominates_any(cost)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParetoFrontier(size={len(self._items)}, alpha={self._alpha})"
@@ -132,9 +166,9 @@ def pareto_filter(
     """Return a (α-approximate) Pareto-optimal subset of the given cost vectors.
 
     With ``alpha = 1`` the result contains one representative for every
-    non-dominated cost value (duplicates are collapsed).
+    non-dominated cost value (duplicates are collapsed) and the whole input
+    is filtered by a single vectorized batch insertion.
     """
     frontier: ParetoFrontier[Tuple[float, ...]] = ParetoFrontier(alpha=alpha)
-    for cost in costs:
-        frontier.insert(tuple(cost))
+    frontier.insert_all([tuple(cost) for cost in costs])
     return frontier.items()

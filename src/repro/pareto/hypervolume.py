@@ -7,16 +7,25 @@ harness (a better frontier should both lower the α error and raise the
 dominated hypervolume).
 
 For minimization problems the hypervolume of a point set is the volume of the
-region dominated by the set and bounded above by a reference point.  The
-implementation uses the classic recursive slicing approach, which is exact
-and fast enough for the 2–3 dimensional frontiers this library produces.
+region dominated by the set and bounded above by a reference point.  The live
+implementation cleans and Pareto-filters the input with the vectorized kernel
+(:mod:`repro.pareto.engine`) and then runs the slicing sweep with *exact*
+rational accumulation, which makes the indicator numerically monotone under
+union: adding a point can never decrease the reported volume (the exact value
+is monotone, and the final rounding to ``float`` is a monotone map).  The
+original floating-point recursion is kept as :func:`hypervolume_scalar`, the
+reference the engine is property-tested against (equal up to floating-point
+accumulation error).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.pareto.frontier import pareto_filter
+import numpy as np
+
+from repro.pareto import engine
+from repro.pareto.reference import scalar_pareto_filter
 
 
 def hypervolume(
@@ -25,7 +34,39 @@ def hypervolume(
     """Hypervolume dominated by ``costs`` with respect to ``reference_point``.
 
     Points that do not strictly dominate the reference point in every metric
-    contribute nothing.  Returns zero for an empty set.
+    contribute nothing.  Returns zero for an empty set.  The result is
+    numerically monotone under union (see the module docstring).
+    """
+    reference = tuple(float(v) for v in reference_point)
+    rows: List[Tuple[float, ...]] = []
+    for cost in costs:
+        point = tuple(float(v) for v in cost)
+        if len(point) != len(reference):
+            raise ValueError(
+                f"cost vector of length {len(point)} does not match reference of "
+                f"length {len(reference)}"
+            )
+        rows.append(point)
+    if not rows:
+        return 0.0
+    matrix = engine.as_cost_matrix(rows, num_metrics=len(reference))
+    inside = np.all(matrix < np.asarray(reference, dtype=np.float64), axis=1)
+    cleaned = matrix[inside]
+    if cleaned.shape[0] == 0:
+        return 0.0
+    front = cleaned[engine.pareto_kept_mask(cleaned)]
+    return engine.hypervolume_exact(front, reference)
+
+
+def hypervolume_scalar(
+    costs: Iterable[Sequence[float]], reference_point: Sequence[float]
+) -> float:
+    """Pure-Python reference implementation (floating-point accumulation).
+
+    Kept as the executable specification the engine is property-tested
+    against.  Unlike :func:`hypervolume`, this variant is subject to
+    floating-point accumulation error and is *not* exactly monotone under
+    union.
     """
     reference = tuple(float(v) for v in reference_point)
     cleaned: List[Tuple[float, ...]] = []
@@ -40,7 +81,7 @@ def hypervolume(
             cleaned.append(point)
     if not cleaned:
         return 0.0
-    front = pareto_filter(cleaned)
+    front = scalar_pareto_filter(cleaned)
     return _hypervolume_recursive(front, reference)
 
 
@@ -61,7 +102,7 @@ def _hypervolume_recursive(
         height = slab_top - slab_bottom
         if height > 0:
             slab_points = [point[:-1] for point in ordered[: index + 1]]
-            slab_front = pareto_filter(slab_points)
+            slab_front = scalar_pareto_filter(slab_points)
             area = _hypervolume_recursive(slab_front, reference[:-1])
             total += area * height
             previous_bound = slab_bottom

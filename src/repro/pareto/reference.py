@@ -1,0 +1,101 @@
+"""Pure-Python reference implementations of the frontier kernel.
+
+These are the original tuple-arithmetic implementations that
+:mod:`repro.pareto.engine` replaced on the hot path.  They are kept as the
+executable specification: small, obviously correct, and used by
+
+* the property tests in ``tests/test_engine.py``, which assert that the
+  vectorized engine produces identical results on random inputs, and
+* ``benchmarks/bench_micro_pareto.py``, which measures the speedup of the
+  engine over this baseline.
+
+Do not use these classes on hot paths; use
+:class:`repro.pareto.frontier.ParetoFrontier` (engine-backed) instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.pareto.dominance import approx_dominates, dominates, strictly_dominates
+
+ItemT = TypeVar("ItemT")
+
+
+class ScalarParetoFrontier(Generic[ItemT]):
+    """Reference (pure-Python) implementation of ``ParetoFrontier``.
+
+    Semantics are the paper's Algorithm 3 pruning rule: a new item is
+    rejected when an existing item α-dominates it; an accepted item evicts
+    every existing item it (exactly) dominates.
+    """
+
+    def __init__(
+        self,
+        cost_of: Callable[[ItemT], Sequence[float]] = lambda item: item,  # type: ignore[assignment,return-value]
+        alpha: float = 1.0,
+    ) -> None:
+        if alpha < 1.0:
+            raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+        self._cost_of = cost_of
+        self._alpha = alpha
+        self._items: List[ItemT] = []
+
+    @property
+    def alpha(self) -> float:
+        """Approximation factor used for insertion."""
+        return self._alpha
+
+    def items(self) -> List[ItemT]:
+        """The currently kept items (copy)."""
+        return list(self._items)
+
+    def costs(self) -> List[Tuple[float, ...]]:
+        """Cost vectors of the currently kept items."""
+        return [tuple(self._cost_of(item)) for item in self._items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def insert(self, item: ItemT) -> bool:
+        """Insert ``item`` unless an existing item α-dominates it."""
+        cost = tuple(self._cost_of(item))
+        for existing in self._items:
+            if approx_dominates(tuple(self._cost_of(existing)), cost, self._alpha):
+                return False
+        self._items = [
+            existing
+            for existing in self._items
+            if not dominates(cost, tuple(self._cost_of(existing)))
+        ]
+        self._items.append(item)
+        return True
+
+    def insert_all(self, items: Iterable[ItemT]) -> int:
+        """Insert several items one by one; returns how many were accepted."""
+        return sum(1 for item in items if self.insert(item))
+
+    def covers(self, cost: Sequence[float], alpha: float | None = None) -> bool:
+        """Return whether some kept item α-dominates the given cost vector."""
+        factor = self._alpha if alpha is None else alpha
+        return any(
+            approx_dominates(tuple(self._cost_of(item)), cost, factor)
+            for item in self._items
+        )
+
+    def dominated_by_any(self, cost: Sequence[float]) -> bool:
+        """Return whether some kept item strictly dominates the cost vector."""
+        return any(
+            strictly_dominates(tuple(self._cost_of(item)), cost)
+            for item in self._items
+        )
+
+
+def scalar_pareto_filter(
+    costs: Iterable[Sequence[float]], alpha: float = 1.0
+) -> List[Tuple[float, ...]]:
+    """Reference implementation of ``pareto_filter`` (sequential insertion)."""
+    frontier: ScalarParetoFrontier[Tuple[float, ...]] = ScalarParetoFrontier(alpha=alpha)
+    for cost in costs:
+        frontier.insert(tuple(cost))
+    return frontier.items()

@@ -26,6 +26,19 @@ class TestParser:
         args = build_parser().parse_args(["figure2"])
         assert args.scale == "default"
 
+    def test_workers_flag(self):
+        args = build_parser().parse_args(["figure1", "--workers", "4"])
+        assert args.workers == 4
+        assert build_parser().parse_args(["figure1"]).workers is None
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["figure1", "--scale", "smoke", "--workers", "0"])
+
+    def test_invalid_workers_rejected_for_figure3_too(self):
+        with pytest.raises(SystemExit):
+            run(["figure3", "--scale", "smoke", "--workers", "0"])
+
 
 class TestRun:
     def test_figure3_smoke_report(self):

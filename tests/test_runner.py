@@ -14,6 +14,7 @@ from repro.bench.runner import (
     CellResult,
     build_optimizer,
     run_scenario,
+    _median_over_cases,
     _reference_alpha,
 )
 from repro.bench.scenario import ScenarioScale, ScenarioSpec
@@ -126,6 +127,75 @@ class TestBuildOptimizer:
         assert _reference_alpha("DP(Infinity)") == float("inf")
         with pytest.raises(ValueError):
             _reference_alpha("NSGA-II")
+
+
+class TestMedianOverCases:
+    INF = float("inf")
+
+    def test_all_finite(self):
+        assert _median_over_cases([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]) == [3.0, 4.0]
+
+    def test_all_infinite_column_reports_inf(self):
+        assert _median_over_cases([[self.INF], [self.INF]]) == [self.INF]
+
+    def test_mixed_column_inf_sorts_last(self):
+        # Odd count: the middle of [1, 3, inf] is 3.
+        assert _median_over_cases([[1.0], [self.INF], [3.0]]) == [3.0]
+
+    def test_mixed_even_count_can_report_inf(self):
+        # Even count: the median of [1, inf] is the mean, which is inf.
+        assert _median_over_cases([[1.0], [self.INF]]) == [self.INF]
+
+    def test_majority_infinite_reports_inf(self):
+        assert _median_over_cases([[1.0], [self.INF], [self.INF]]) == [self.INF]
+
+    def test_empty_input(self):
+        assert _median_over_cases([]) == []
+
+
+class TestParallelRunner:
+    @pytest.fixture(scope="class")
+    def deterministic_spec(self):
+        """Step-driven spec: results must be identical for any worker count."""
+        return ScenarioSpec(
+            name="parallel",
+            description="parallel determinism test scenario",
+            graph_shapes=(GraphShape.CHAIN, GraphShape.STAR),
+            table_counts=(4,),
+            num_metrics=2,
+            algorithms=("RandomSampling", "RMQ"),
+            num_test_cases=2,
+            step_checkpoints=(2, 4),
+            seed=11,
+            scale=ScenarioScale.SMOKE,
+        )
+
+    def test_workers_reproduce_sequential_results(self, deterministic_spec):
+        sequential = run_scenario(deterministic_spec, workers=1)
+        parallel = run_scenario(deterministic_spec, workers=2)
+        assert parallel.cells == sequential.cells
+
+    def test_workers_from_spec(self, deterministic_spec):
+        import dataclasses
+
+        spec = dataclasses.replace(deterministic_spec, workers=2)
+        assert run_scenario(spec).cells == run_scenario(deterministic_spec).cells
+
+    def test_step_checkpoints_reported_as_checkpoint_values(self, deterministic_spec):
+        result = run_scenario(deterministic_spec)
+        for cell in result.cells:
+            assert cell.checkpoints == (2.0, 4.0)
+
+    def test_step_driven_report_labels_steps_not_seconds(self, deterministic_spec):
+        report = format_scenario_report(run_scenario(deterministic_spec))
+        assert "step=2  step=4" in report
+        assert "budget=4 steps" in report
+        # No wall-clock column labels (t=0.25s etc.) in a step-driven report.
+        assert "t=0" not in report
+
+    def test_invalid_worker_count_rejected(self, deterministic_spec):
+        with pytest.raises(ValueError):
+            run_scenario(deterministic_spec, workers=0)
 
 
 class TestReporting:

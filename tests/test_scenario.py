@@ -59,6 +59,25 @@ class TestScenarioSpecValidation:
         with pytest.raises(ValueError):
             _minimal_spec(error_cap=0.5)
 
+    def test_workers_default_is_sequential(self):
+        assert _minimal_spec().workers == 1
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            _minimal_spec(workers=0)
+
+    def test_step_checkpoints_accepted(self):
+        spec = _minimal_spec(step_checkpoints=(2, 4, 8))
+        assert spec.step_checkpoints == (2, 4, 8)
+
+    def test_invalid_step_checkpoints_rejected(self):
+        with pytest.raises(ValueError):
+            _minimal_spec(step_checkpoints=())
+        with pytest.raises(ValueError):
+            _minimal_spec(step_checkpoints=(0, 2))
+        with pytest.raises(ValueError):
+            _minimal_spec(step_checkpoints=(4, 2))
+
     def test_with_scale_overrides(self):
         spec = _minimal_spec()
         modified = spec.with_scale_overrides(
