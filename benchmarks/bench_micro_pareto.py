@@ -1,4 +1,5 @@
-"""Micro-benchmark M2: scalar vs. vectorized Pareto frontier insertion.
+"""Micro-benchmark M2: scalar vs. vectorized Pareto frontier insertion,
+plus task-graph runner throughput.
 
 Measures the throughput of inserting random cost vectors into a Pareto
 frontier three ways:
@@ -15,6 +16,11 @@ frontier three ways:
 Results are printed and written to ``BENCH_pareto.json`` in the repository
 root.  The acceptance bar for the engine is ``batch`` ≥ 3× ``scalar`` on
 1000 random 3-metric vectors.
+
+The runner section measures benchmark *task* throughput (leaf tasks per
+second of a small step-driven scenario) through the task-graph pipeline —
+sequential and process-pool at ``case`` granularity — verifies the two
+modes agree bit-for-bit, and writes ``BENCH_runner.json``.
 
 Run as a script (``python benchmarks/bench_micro_pareto.py``) or via pytest
 (``pytest benchmarks/bench_micro_pareto.py``).
@@ -34,6 +40,7 @@ from repro.pareto.reference import ScalarParetoFrontier
 #: Repository root (this file lives in benchmarks/).
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pareto.json")
+RUNNER_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_runner.json")
 
 NUM_VECTORS = 1000
 NUM_METRICS = 3
@@ -140,10 +147,106 @@ def test_batch_insert_beats_scalar():
     assert report["speedup_vs_scalar"]["batch"] > 1.5
 
 
+# ---------------------------------------------------------------------------
+# Runner throughput (task-graph pipeline)
+# ---------------------------------------------------------------------------
+def _runner_spec():
+    from repro.bench.scenario import ScenarioScale, ScenarioSpec
+    from repro.query.join_graph import GraphShape
+
+    return ScenarioSpec(
+        name="bench-runner",
+        description="task throughput micro-scenario",
+        graph_shapes=(GraphShape.CHAIN, GraphShape.STAR),
+        table_counts=(6,),
+        num_metrics=2,
+        algorithms=("RandomSampling", "RMQ"),
+        num_test_cases=3,
+        step_checkpoints=(4, 8),
+        seed=SEED,
+        scale=ScenarioScale.SMOKE,
+    )
+
+
+def run_runner_benchmark(write_json: bool = True) -> Dict[str, object]:
+    """Measure leaf-task throughput through the task-graph pipeline.
+
+    Sequential throughput is the headline (min over repeats); the
+    process-pool number is recorded for reference — at this micro scale it
+    is dominated by worker start-up, the pool only pays off on real grids.
+    Both modes must produce bit-identical scenario results.
+    """
+    from repro.bench.runner import run_scenario
+    from repro.bench.tasks import schedule_tasks
+
+    spec = _runner_spec()
+    num_tasks = len(schedule_tasks(spec))
+    sequential = run_scenario(spec, workers=1)
+    parallel = run_scenario(spec, workers=2, granularity="case")
+    parallel_matches_sequential = parallel.cells == sequential.cells
+
+    sequential_seconds = min(
+        timeit.repeat(lambda: run_scenario(spec, workers=1), number=1, repeat=3)
+    )
+    parallel_seconds = min(
+        timeit.repeat(
+            lambda: run_scenario(spec, workers=2, granularity="case"),
+            number=1,
+            repeat=1,
+        )
+    )
+    report: Dict[str, object] = {
+        "num_tasks": num_tasks,
+        "step_checkpoints": list(spec.step_checkpoints),
+        "seed": SEED,
+        "seconds": {
+            "sequential": sequential_seconds,
+            "case_parallel_2_workers": parallel_seconds,
+        },
+        "tasks_per_second": {
+            "sequential": num_tasks / sequential_seconds,
+            "case_parallel_2_workers": num_tasks / parallel_seconds,
+        },
+        "parallel_matches_sequential": parallel_matches_sequential,
+    }
+    if write_json:
+        with open(RUNNER_RESULT_PATH, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def _format_runner_report(report: Dict[str, object]) -> str:
+    seconds = report["seconds"]
+    rates = report["tasks_per_second"]
+    return "\n".join(
+        [
+            f"Runner throughput micro-benchmark ({report['num_tasks']} leaf tasks, "
+            f"step checkpoints {report['step_checkpoints']}):",
+            f"  sequential       {seconds['sequential'] * 1e3:8.2f} ms "
+            f"({rates['sequential']:.1f} tasks/s)",
+            f"  2-worker (case)  {seconds['case_parallel_2_workers'] * 1e3:8.2f} ms "
+            f"({rates['case_parallel_2_workers']:.1f} tasks/s)",
+        ]
+    )
+
+
+def test_runner_throughput_recorded():
+    """Task throughput is measured, parallel == sequential bit-for-bit."""
+    report = run_runner_benchmark()
+    print()
+    print(_format_runner_report(report))
+    assert report["parallel_matches_sequential"] is True
+    assert report["tasks_per_second"]["sequential"] > 0
+
+
 def main() -> int:
     report = run_benchmark()
     print(_format_report(report))
     print(f"[results written to {RESULT_PATH}]")
+    runner_report = run_runner_benchmark()
+    print(_format_runner_report(runner_report))
+    print(f"[results written to {RUNNER_RESULT_PATH}]")
     return 0
 
 

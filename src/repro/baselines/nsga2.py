@@ -28,9 +28,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.interface import AnytimeOptimizer
 from repro.cost.model import MultiObjectiveCostModel
 from repro.pareto.dominance import strictly_dominates
+from repro.pareto.engine import strictly_dominates_matrix
 from repro.pareto.frontier import ParetoFrontier
 from repro.plans.plan import Plan
 
@@ -254,6 +257,52 @@ class NSGA2Optimizer(AnytimeOptimizer):
     def _fast_non_dominated_sort(
         population: List[Individual],
     ) -> List[List[Individual]]:
+        """Non-dominated sort on the vectorized dominance kernel.
+
+        One ``strictly_dominates_matrix`` call replaces the O(n²) per-pair
+        Python loop; fronts are then peeled by subtracting the dominator
+        counts of each front from the remainder.  Front membership, ranks,
+        and — critically for downstream tie-breaking — the order of
+        individuals *within* each front are identical to
+        :meth:`_fast_non_dominated_sort_scalar`, the pure-Python
+        specification this is property-tested against: the scalar algorithm
+        appends an individual to the next front the moment its last
+        remaining dominator is processed, so the vectorized peel orders each
+        front by (position of the last dominator in the previous front,
+        population index).
+        """
+        if not population:
+            return []
+        costs = np.asarray([ind.cost for ind in population], dtype=np.float64)
+        dominates = strictly_dominates_matrix(costs, costs)  # [i, j] = i ≺ j
+        remaining = dominates.sum(axis=0).astype(np.int64)  # dominators of j
+        fronts: List[List[Individual]] = []
+        current = np.flatnonzero(remaining == 0)  # ascending, like the scalar path
+        rank = 0
+        while current.size:
+            for index in current:
+                population[index].rank = rank
+            fronts.append([population[index] for index in current])
+            dominated = dominates[current]  # (front size, n)
+            remaining[current] = -1  # assigned sentinels can never reach zero again
+            remaining = remaining - dominated.sum(axis=0)
+            candidates = np.flatnonzero(remaining == 0)
+            if candidates.size:
+                in_front = dominated[:, candidates]
+                last_dominator = (
+                    dominated.shape[0] - 1 - np.argmax(in_front[::-1, :], axis=0)
+                )
+                current = candidates[np.lexsort((candidates, last_dominator))]
+            else:
+                current = candidates
+            rank += 1
+        return fronts
+
+    @staticmethod
+    def _fast_non_dominated_sort_scalar(
+        population: List[Individual],
+    ) -> List[List[Individual]]:
+        """Pure-Python reference (the specification of the vectorized sort)."""
         dominated_by: Dict[int, List[int]] = {i: [] for i in range(len(population))}
         domination_count = [0] * len(population)
         fronts: List[List[int]] = [[]]
@@ -283,6 +332,40 @@ class NSGA2Optimizer(AnytimeOptimizer):
 
     @staticmethod
     def _assign_crowding(front: List[Individual]) -> None:
+        """Crowding distances via stable argsort instead of per-metric list sorts.
+
+        Reproduces :meth:`_assign_crowding_scalar` exactly, including its
+        side effect on the caller's list: the scalar code re-sorts ``front``
+        in place per metric (stable, so ties keep the order left by the
+        previous metric), and environmental selection later relies on that
+        final order for truncation tie-breaking.  The vectorized version
+        chains stable argsorts over the same keys and reorders ``front`` to
+        the order after the last metric.
+        """
+        if not front:
+            return
+        costs = np.asarray([ind.cost for ind in front], dtype=np.float64)
+        size, num_metrics = costs.shape
+        crowding = np.zeros(size, dtype=np.float64)
+        order = np.arange(size)
+        for metric in range(num_metrics):
+            order = order[np.argsort(costs[order, metric], kind="stable")]
+            column = costs[order, metric]
+            crowding[order[0]] = np.inf
+            crowding[order[-1]] = np.inf
+            span = column[-1] - column[0]
+            if span <= 0:
+                continue
+            if size > 2:
+                crowding[order[1:-1]] += (column[2:] - column[:-2]) / span
+        originals = list(front)
+        for index, individual in enumerate(originals):
+            individual.crowding = float(crowding[index])
+        front[:] = [originals[index] for index in order]
+
+    @staticmethod
+    def _assign_crowding_scalar(front: List[Individual]) -> None:
+        """Pure-Python reference (the specification of the vectorized crowding)."""
         if not front:
             return
         for individual in front:

@@ -12,13 +12,20 @@ The harness is organised as follows:
     Builds the reference Pareto frontier each algorithm is judged against
     (union of all algorithms' results, or a DP(1.01) frontier for the precise
     small-query experiments).
+``tasks``
+    The task graph: serializable ``(cell, case, algorithm)`` leaf tasks
+    (``TaskSpec``/``TaskResult``), schedule/execute helpers, and shard
+    serialization for multi-machine runs.
 ``runner``
-    Runs a full scenario and aggregates per-cell medians.
+    Runs a full scenario (schedule → execute → reduce) and aggregates
+    per-cell medians; ``merge_shards`` reduces shard files the same way.
 ``reporting``
-    Formats scenario results as text tables mirroring the paper's figures.
+    Formats scenario results as text tables mirroring the paper's figures,
+    plus per-task provenance traces.
 ``figures``
     One spec constructor per paper figure plus the ablation experiments
-    listed in DESIGN.md.
+    listed in DESIGN.md; every figure also has a wall-clock-free
+    step-driven variant (``STEP_FIGURE_SPECS``).
 ``statistics``
     Climb-path-length and Pareto-set-size statistics (Figure 3).
 """
@@ -29,8 +36,29 @@ from repro.bench.reference import (
     dp_reference_frontier,
     union_reference_frontier,
 )
-from repro.bench.runner import CellResult, ScenarioResult, run_scenario
-from repro.bench.reporting import format_scenario_report, summarize_winners
+from repro.bench.tasks import (
+    TaskResult,
+    TaskSpec,
+    execute_task,
+    execute_tasks,
+    load_shards,
+    run_shard,
+    schedule_tasks,
+    shard_tasks,
+    write_shard,
+)
+from repro.bench.runner import (
+    CellResult,
+    ScenarioResult,
+    merge_shards,
+    reduce_task_results,
+    run_scenario,
+)
+from repro.bench.reporting import (
+    format_scenario_report,
+    format_task_provenance,
+    summarize_winners,
+)
 from repro.bench.statistics import Figure3Result, run_figure3_statistics
 from repro.bench import figures
 
@@ -42,10 +70,22 @@ __all__ = [
     "evaluate_steps",
     "union_reference_frontier",
     "dp_reference_frontier",
+    "TaskSpec",
+    "TaskResult",
+    "schedule_tasks",
+    "shard_tasks",
+    "execute_task",
+    "execute_tasks",
+    "run_shard",
+    "write_shard",
+    "load_shards",
     "CellResult",
     "ScenarioResult",
     "run_scenario",
+    "reduce_task_results",
+    "merge_shards",
     "format_scenario_report",
+    "format_task_provenance",
     "summarize_winners",
     "Figure3Result",
     "run_figure3_statistics",

@@ -5,15 +5,21 @@ optimization to compare algorithms in different time intervals"
 (Section 6.1).  :func:`evaluate_anytime` drives an optimizer's ``step()``
 loop under a wall-clock budget and records the frontier (as cost vectors) at
 each checkpoint time; :func:`evaluate_steps` is the deterministic,
-step-count-based variant used in tests and in iteration-budget experiments.
+step-count-based variant used in tests, in iteration-budget experiments, and
+by the benchmark task executor (:mod:`repro.bench.tasks`).
+
+Both evaluators drive the optimizer through the shared
+:func:`repro.core.interface.run_steps` loop rather than hand-rolled
+``while`` loops, so budget semantics match ``AnytimeOptimizer.run`` exactly.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
-from repro.core.interface import AnytimeOptimizer
+from repro.core.interface import AnytimeOptimizer, run_steps
 from repro.utils.timer import Stopwatch
 
 
@@ -61,6 +67,7 @@ def evaluate_anytime(
     optimizer: AnytimeOptimizer,
     checkpoints: Sequence[float],
     time_budget: float | None = None,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> List[CheckpointRecord]:
     """Run an optimizer under a wall-clock budget, snapshotting at checkpoints.
 
@@ -74,11 +81,18 @@ def evaluate_anytime(
         comes first).
     time_budget:
         Total budget in seconds; defaults to the last checkpoint.
+    clock:
+        Monotonic time source; injectable so tests can pin boundary behavior.
 
     Returns
     -------
     list of CheckpointRecord
-        One record per checkpoint, in order.
+        Exactly one record per checkpoint, in order.  A checkpoint is
+        snapshotted by at most one of the two paths — the in-loop scan or the
+        end-of-run flush — even when it falls exactly on the budget boundary;
+        the shared ``next_index`` cursor makes duplicates structurally
+        impossible (regression-tested with a fake clock in
+        ``tests/test_anytime.py``).
     """
     ordered = list(checkpoints)
     if not ordered:
@@ -86,20 +100,23 @@ def evaluate_anytime(
     if sorted(ordered) != ordered:
         raise ValueError("checkpoints must be sorted ascending")
     budget = time_budget if time_budget is not None else ordered[-1]
-    watch = Stopwatch()
     records: List[CheckpointRecord] = []
     next_index = 0
-    while True:
-        elapsed = watch.elapsed
+    last_elapsed = 0.0
+
+    def on_tick(_steps: int, elapsed: float) -> bool:
+        nonlocal next_index, last_elapsed
+        last_elapsed = elapsed
         while next_index < len(ordered) and elapsed >= ordered[next_index]:
             records.append(_snapshot(optimizer, ordered[next_index], elapsed))
             next_index += 1
-        if elapsed >= budget or optimizer.finished or next_index >= len(ordered):
-            break
-        optimizer.step()
-    final_elapsed = watch.elapsed
+        return next_index >= len(ordered)
+
+    run_steps(optimizer, time_budget=budget, on_tick=on_tick, clock=clock)
+    # Flush checkpoints the run never reached (budget exhausted or optimizer
+    # finished early): each remaining index is snapshotted exactly once.
     while next_index < len(ordered):
-        records.append(_snapshot(optimizer, ordered[next_index], final_elapsed))
+        records.append(_snapshot(optimizer, ordered[next_index], last_elapsed))
         next_index += 1
     return records
 
@@ -127,8 +144,6 @@ def evaluate_steps(
     records: List[CheckpointRecord] = []
     steps_done = 0
     for checkpoint in ordered:
-        while steps_done < checkpoint and not optimizer.finished:
-            optimizer.step()
-            steps_done += 1
+        steps_done += run_steps(optimizer, max_steps=checkpoint - steps_done)
         records.append(_snapshot(optimizer, float(checkpoint), watch.elapsed))
     return records

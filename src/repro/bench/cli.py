@@ -6,8 +6,18 @@ Usage::
     python -m repro.bench.cli figure3 --scale default
     python -m repro.bench.cli ablation_rmq --scale smoke --seed 7
 
+    # Wall-clock-free (step-driven) variant, parallel within cells:
+    python -m repro.bench.cli figure1 --scale smoke --steps \\
+        --workers 4 --granularity case
+
+    # Shard a grid across machines, then merge the serialized results:
+    python -m repro.bench.cli figure1 --scale smoke --steps --shard 0/2 --out s0.json
+    python -m repro.bench.cli figure1 --scale smoke --steps --shard 1/2 --out s1.json
+    python -m repro.bench.cli merge s0.json s1.json
+
 Prints the same text report as the pytest benchmark targets; useful when
-iterating on one figure without the pytest-benchmark machinery.
+iterating on one figure without the pytest-benchmark machinery.  With
+``--steps``, a two-shard ``merge`` is bit-identical to the sequential run.
 """
 
 from __future__ import annotations
@@ -15,20 +25,28 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import Sequence
+from typing import Sequence, Tuple
 
 from repro.bench import figures
-from repro.bench.reporting import format_scenario_report, summarize_winners
-from repro.bench.runner import run_scenario
+from repro.bench.reporting import (
+    format_scenario_report,
+    format_task_provenance,
+    summarize_winners,
+)
+from repro.bench.runner import merge_shards, run_scenario
 from repro.bench.scenario import ScenarioScale
 from repro.bench.statistics import run_figure3_statistics
+from repro.bench.tasks import run_shard, write_shard
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argument parser of the benchmark CLI."""
+    """The argument parser of the benchmark CLI (figure runs)."""
     parser = argparse.ArgumentParser(
         prog="repro.bench.cli",
-        description="Regenerate one figure of the paper's evaluation.",
+        description=(
+            "Regenerate one figure of the paper's evaluation, or merge shard "
+            "files with 'merge <shard.json>...'."
+        ),
     )
     parser.add_argument(
         "figure",
@@ -49,23 +67,92 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "run the grid cells on N worker processes (default: sequential; "
+            "run the benchmark tasks on N worker processes (default: sequential; "
             "ignored by figure3, which is a single statistics run). "
-            "Note: with wall-clock budgets, concurrent cells share CPU, so "
-            "medians can shift versus a sequential run"
+            "Note: with wall-clock budgets, concurrent tasks share CPU, so "
+            "medians can shift versus a sequential run; use --steps for "
+            "fully deterministic parallel runs"
         ),
+    )
+    parser.add_argument(
+        "--granularity",
+        choices=["cell", "case"],
+        default=None,
+        help=(
+            "unit of work dispatched to workers: whole grid cells (default) "
+            "or individual (cell, case, algorithm) leaf tasks"
+        ),
+    )
+    parser.add_argument(
+        "--steps",
+        action="store_true",
+        help=(
+            "run the wall-clock-free variant of the figure (iteration-count "
+            "checkpoints; deterministic for any worker count or sharding)"
+        ),
+    )
+    parser.add_argument(
+        "--shard",
+        type=str,
+        default=None,
+        metavar="K/N",
+        help=(
+            "execute only shard K of N of the task schedule and serialize the "
+            "task results to --out as JSON for a later 'merge' invocation"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="output path of the shard JSON (default: <figure>_shard_K_of_N.json)",
     )
     return parser
 
 
+def build_merge_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``merge`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli merge",
+        description=(
+            "Merge shard JSON files written by --shard runs into the full "
+            "scenario report (validates complete schedule coverage)."
+        ),
+    )
+    parser.add_argument(
+        "shards", nargs="+", help="shard JSON files (all shards of one scenario)"
+    )
+    return parser
+
+
+def _parse_shard(value: str) -> Tuple[int, int]:
+    """Parse a ``K/N`` shard designator."""
+    try:
+        index_text, count_text = value.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"--shard must look like K/N (e.g. 0/2), got {value!r}")
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(f"--shard needs 0 <= K < N, got {value!r}")
+    return index, count
+
+
 def run(argv: Sequence[str] | None = None) -> str:
-    """Run the selected figure and return its text report."""
+    """Run the selected figure (or merge shards) and return the text report."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "merge":
+        merge_args = build_merge_parser().parse_args(argv[1:])
+        result = merge_shards(merge_args.shards)
+        return format_scenario_report(result) + "\n" + summarize_winners(result)
+
     args = build_parser().parse_args(argv)
     scale = ScenarioScale(args.scale)
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be at least 1")
 
     if args.figure == "figure3":
+        if args.shard is not None or args.steps:
+            raise SystemExit("figure3 is a single statistics run; no --shard/--steps")
         if scale is ScenarioScale.PAPER:
             table_counts, cases, iterations = (10, 25, 50, 75, 100), 20, 20
         elif scale is ScenarioScale.DEFAULT:
@@ -81,11 +168,28 @@ def run(argv: Sequence[str] | None = None) -> str:
             kwargs["seed"] = args.seed
         return run_figure3_statistics(**kwargs).format_report()
 
-    spec = figures.FIGURE_SPECS[args.figure](scale)
+    spec_map = figures.STEP_FIGURE_SPECS if args.steps else figures.FIGURE_SPECS
+    spec = spec_map[args.figure](scale)
     if args.seed is not None:
         spec = dataclasses.replace(spec, seed=args.seed)
     if args.workers is not None:
         spec = dataclasses.replace(spec, workers=args.workers)
+    if args.granularity is not None:
+        spec = dataclasses.replace(spec, granularity=args.granularity)
+
+    if args.shard is not None:
+        index, count = _parse_shard(args.shard)
+        results = run_shard(
+            spec, index, count, workers=spec.workers, granularity=spec.granularity
+        )
+        out_path = args.out or f"{spec.name}_shard_{index}_of_{count}.json"
+        write_shard(out_path, spec, index, count, results)
+        return (
+            format_task_provenance(results)
+            + f"\n[shard {index}/{count}: {len(results)} task results "
+            + f"written to {out_path}]"
+        )
+
     result = run_scenario(spec)
     return format_scenario_report(result) + "\n" + summarize_winners(result)
 

@@ -18,7 +18,8 @@ Figure 3 is not an error-versus-time grid; it is covered by
 
 from __future__ import annotations
 
-from typing import Tuple
+from dataclasses import replace
+from typing import Callable, Dict, Tuple
 
 from repro.baselines import PAPER_ALGORITHMS
 from repro.bench.scenario import ScenarioScale, ScenarioSpec
@@ -265,4 +266,51 @@ FIGURE_SPECS = {
     "figure9": figure9_spec,
     "ablation_rmq": ablation_rmq_spec,
     "ablation_alpha": ablation_alpha_spec,
+}
+
+
+# --------------------------------------------------- wall-clock-free variants
+#: Step-count checkpoints of the step-driven figure variants, per scale.
+#: They mirror the shape of the wall-clock checkpoints (four snapshots, the
+#: last being the budget) but count optimizer iterations, so a run is fully
+#: deterministic and regression-testable in CI.
+STEP_CHECKPOINTS: Dict[ScenarioScale, Tuple[int, ...]] = {
+    ScenarioScale.SMOKE: (2, 4, 6, 8),
+    ScenarioScale.DEFAULT: (10, 20, 40, 80),
+    ScenarioScale.PAPER: (100, 200, 400, 800),
+}
+
+
+def step_variant(
+    spec: ScenarioSpec, step_checkpoints: Tuple[int, ...] | None = None
+) -> ScenarioSpec:
+    """Wall-clock-free variant of a figure spec.
+
+    Replaces the spec's time budget with iteration-count checkpoints
+    (:data:`STEP_CHECKPOINTS` for the spec's scale unless given explicitly)
+    and drops the reference wall-clock budget — the DP reference scheme then
+    runs to completion under its step-count safety cap, which keeps the
+    precise small-query figures deterministic too.  ``run_scenario`` on a
+    step variant returns bit-identical results for every worker count,
+    granularity, and sharding.
+    """
+    checkpoints = (
+        step_checkpoints if step_checkpoints is not None else STEP_CHECKPOINTS[spec.scale]
+    )
+    return replace(spec, step_checkpoints=checkpoints, reference_time_budget=None)
+
+
+def _step_constructor(
+    constructor: Callable[[ScenarioScale], ScenarioSpec],
+) -> Callable[[ScenarioScale], ScenarioSpec]:
+    def build(scale: ScenarioScale = ScenarioScale.DEFAULT) -> ScenarioSpec:
+        return step_variant(constructor(scale))
+
+    return build
+
+
+#: Step-driven twin of every figure spec: same grid, metrics, and algorithms,
+#: but driven by iteration counts (``FIGURE_SPECS`` keys, same call shape).
+STEP_FIGURE_SPECS: Dict[str, Callable[[ScenarioScale], ScenarioSpec]] = {
+    name: _step_constructor(constructor) for name, constructor in FIGURE_SPECS.items()
 }

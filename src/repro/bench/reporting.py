@@ -4,13 +4,18 @@ The paper presents its results as α-versus-time plots with one line per
 algorithm and one panel per (join-graph shape, query size) cell.  The text
 report prints the same series: one block per cell, one row per algorithm,
 one column per checkpoint, values being the median approximation error.
+
+:func:`format_task_provenance` renders the execution trace of a task-graph
+run — one line per leaf task with its steps and wall-clock seconds — which
+is what a ``--shard`` invocation prints alongside the serialized results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.bench.runner import ScenarioResult
+from repro.bench.tasks import TaskResult
 
 
 def _format_error(value: float) -> str:
@@ -75,4 +80,18 @@ def summarize_winners(result: ScenarioResult) -> str:
                 f"(final error {_format_error(best_error)})"
             )
     lines.append("Win counts: " + ", ".join(f"{k}={v}" for k, v in win_counts.items()))
+    return "\n".join(lines)
+
+
+def format_task_provenance(results: Sequence[TaskResult]) -> str:
+    """Execution trace of a task list: steps and elapsed seconds per leaf."""
+    lines: List[str] = [f"Task provenance ({len(results)} tasks):"]
+    total_elapsed = 0.0
+    for result in results:
+        lines.append(
+            f"  {result.task.task_id:<40} steps={result.steps:<6} "
+            f"elapsed={result.elapsed:.3f}s"
+        )
+        total_elapsed += result.elapsed
+    lines.append(f"Total task seconds: {total_elapsed:.3f}")
     return "\n".join(lines)

@@ -1,47 +1,68 @@
-"""Scenario runner: executes a full experiment grid and aggregates medians.
+"""Scenario runner: schedule → execute → reduce over the benchmark task graph.
 
-For every grid cell (join-graph shape × query size) the runner generates
+For every grid cell (join-graph shape × query size) the scenario generates
 ``num_test_cases`` random queries, runs every algorithm of the scenario on
-each query under the scenario's time budget, snapshots frontiers at the
+each query under the scenario's budget, snapshots frontiers at the
 checkpoints, builds the per-test-case reference frontier, computes the
 approximation error of every snapshot against that reference, and finally
 reports the median error per (cell, algorithm, checkpoint) — the quantity the
 paper plots.
 
-Grid cells are mutually independent: every random stream is derived from the
-scenario seed and the cell coordinates (:func:`repro.utils.rng.derive_rng`),
-never from execution order.  :func:`run_scenario` therefore treats the grid
-as a work-list of cell tasks and can execute it on a
-``concurrent.futures.ProcessPoolExecutor`` (``workers`` on the spec, the CLI,
-or the call).  The default ``workers=1`` keeps the original strictly
-sequential path, so existing results stay bit-identical; with
-``step_checkpoints`` set on the spec, cells are driven by iteration counts
-instead of wall-clock time and any worker count reproduces the sequential
-output exactly.
+Execution is organized as an explicit task graph (:mod:`repro.bench.tasks`):
+
+* :func:`repro.bench.tasks.schedule_tasks` expands the spec into
+  ``(cell, case, algorithm)`` leaf tasks (plus per-case reference tasks);
+* :func:`repro.bench.tasks.execute_tasks` runs them — sequentially, on a
+  ``ProcessPoolExecutor`` at ``cell`` or ``case`` granularity, or as a
+  ``--shard k/n`` subset serialized to JSON;
+* :func:`reduce_task_results` folds the leaf results into per-cell medians.
+
+Leaf tasks are pure (all randomness is derived from the scenario seed and
+the task coordinates, never from execution order), and the reduce step is a
+pure function of the result set, so every execution mode — including a
+:func:`merge_shards` of shards executed on different machines — produces
+bit-identical :class:`ScenarioResult`\\ s whenever ``step_checkpoints``
+drives the run.
 """
 
 from __future__ import annotations
 
-import random
 import statistics as stats
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.baselines import make_optimizer
-from repro.baselines.nsga2 import NSGA2Optimizer
-from repro.bench.anytime import CheckpointRecord, evaluate_anytime, evaluate_steps
-from repro.bench.reference import dp_reference_frontier, union_reference_frontier
-from repro.bench.scenario import ScenarioScale, ScenarioSpec
-from repro.core.frontier import AlphaSchedule
-from repro.core.interface import AnytimeOptimizer
-from repro.core.rmq import RMQOptimizer
-from repro.cost.model import MultiObjectiveCostModel, sample_metric_names
+from repro.bench.anytime import CheckpointRecord
+from repro.bench.reference import union_reference_frontier
+from repro.bench.scenario import ScenarioSpec
+from repro.bench.tasks import (
+    ROLE_REFERENCE,
+    TaskResult,
+    build_optimizer,
+    build_test_case,
+    execute_tasks,
+    load_shards,
+    reference_alpha,
+    schedule_tasks,
+)
 from repro.pareto.epsilon import approximation_error
-from repro.query.generator import GeneratorConfig, QueryGenerator
 from repro.query.join_graph import GraphShape
-from repro.query.query import Query
-from repro.utils.rng import derive_rng
+
+# Re-exported for callers of the pre-task-graph API (tests, notebooks).
+__all__ = [
+    "CellResult",
+    "ScenarioResult",
+    "run_scenario",
+    "reduce_task_results",
+    "merge_shards",
+    "build_optimizer",
+    "build_test_case",
+    "reference_alpha",
+]
+
+#: Backward-compatible alias of :func:`repro.bench.tasks.reference_alpha`.
+_reference_alpha = reference_alpha
+#: Backward-compatible alias of :func:`repro.bench.tasks.build_test_case`.
+_build_test_case = build_test_case
 
 
 @dataclass(frozen=True)
@@ -96,24 +117,11 @@ class ScenarioResult:
         return grouped
 
 
-def build_optimizer(
-    name: str, cost_model: MultiObjectiveCostModel, rng: random.Random, spec: ScenarioSpec
-) -> AnytimeOptimizer:
-    """Build an optimizer for a scenario, applying scenario-level options.
-
-    Two scenario-level adjustments are applied: the NSGA-II population size
-    (200 in the paper, smaller at reduced scales) and, for RMQ at reduced
-    scales, the compressed α schedule documented in DESIGN.md (the paper's
-    schedule assumes iteration rates a pure-Python run cannot reach).
-    """
-    if name == "NSGA-II":
-        return NSGA2Optimizer(cost_model, rng=rng, population_size=spec.nsga_population)
-    if name == "RMQ" and spec.scale is not ScenarioScale.PAPER:
-        return RMQOptimizer(cost_model, rng=rng, schedule=AlphaSchedule.compressed())
-    return make_optimizer(name, cost_model, rng)
-
-
-def run_scenario(spec: ScenarioSpec, workers: int | None = None) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec,
+    workers: int | None = None,
+    granularity: str | None = None,
+) -> ScenarioResult:
     """Run a full scenario and return aggregated per-cell medians.
 
     Parameters
@@ -121,140 +129,118 @@ def run_scenario(spec: ScenarioSpec, workers: int | None = None) -> ScenarioResu
     spec:
         The scenario to execute.
     workers:
-        Overrides ``spec.workers`` when given.  ``1`` runs the grid cells
+        Overrides ``spec.workers`` when given.  ``1`` runs the schedule
         strictly sequentially in-process (the original path); ``N > 1``
-        executes the independent cell tasks on a process pool.  Cell order in
-        the result is the grid order either way, and with step-based
-        checkpoints the results are identical for every worker count.
+        executes the independent leaf tasks on a process pool.
+    granularity:
+        Overrides ``spec.granularity`` when given: ``"cell"`` dispatches
+        whole grid cells to workers, ``"case"`` dispatches every
+        (cell, case, algorithm) leaf individually.
+
+    Cell order in the result is the grid order in every mode, and with
+    step-based checkpoints the results are bit-identical for every worker
+    count and granularity.
     """
     effective_workers = spec.workers if workers is None else workers
+    effective_granularity = spec.granularity if granularity is None else granularity
     if effective_workers < 1:
         raise ValueError("workers must be at least 1")
-    tasks = [
-        (shape, num_tables)
-        for shape in spec.graph_shapes
-        for num_tables in spec.table_counts
-    ]
-    cells: List[CellResult] = []
-    if effective_workers == 1 or len(tasks) == 1:
-        for shape, num_tables in tasks:
-            cells.extend(_run_cell(spec, shape, num_tables))
-    else:
-        max_workers = min(effective_workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(_run_cell, spec, shape, num_tables)
-                for shape, num_tables in tasks
-            ]
-            for future in futures:
-                cells.extend(future.result())
-    return ScenarioResult(spec=spec, cells=tuple(cells))
+    tasks = schedule_tasks(spec)
+    results = execute_tasks(
+        spec, tasks, workers=effective_workers, granularity=effective_granularity
+    )
+    return ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
+
+
+def merge_shards(paths: Sequence[str]) -> ScenarioResult:
+    """Reduce shard files written by ``--shard k/n`` runs into one result.
+
+    Validates complete schedule coverage (see
+    :func:`repro.bench.tasks.load_shards`), then applies the same reduce as
+    :func:`run_scenario`, so the merged result is bit-identical to a
+    sequential run of the same step-driven spec.
+    """
+    spec, results = load_shards(paths)
+    return ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
 
 
 # --------------------------------------------------------------------------
-# Cell execution
+# Reduce
 # --------------------------------------------------------------------------
-def _run_cell(
-    spec: ScenarioSpec, shape: GraphShape, num_tables: int
-) -> List[CellResult]:
-    """Run every algorithm on every test case of one grid cell."""
-    errors: Dict[str, List[List[float]]] = {name: [] for name in spec.algorithms}
-    sizes: Dict[str, List[List[float]]] = {name: [] for name in spec.algorithms}
+def reduce_task_results(
+    spec: ScenarioSpec, results: Sequence[TaskResult]
+) -> Tuple[CellResult, ...]:
+    """Fold leaf-task results into per-cell medians (pure; order-insensitive).
 
-    for case_index in range(spec.num_test_cases):
-        cost_model = _build_test_case(spec, shape, num_tables, case_index)
-        case_records: Dict[str, List[CheckpointRecord]] = {}
-        for algorithm in spec.algorithms:
-            rng = derive_rng(spec.seed, "algo", algorithm, str(shape), num_tables, case_index)
-            optimizer = build_optimizer(algorithm, cost_model, rng, spec)
-            if spec.step_checkpoints is not None:
-                case_records[algorithm] = evaluate_steps(
-                    optimizer, spec.step_checkpoints
-                )
-            else:
-                case_records[algorithm] = evaluate_anytime(
-                    optimizer, spec.checkpoints, spec.time_budget
-                )
-        reference = _build_reference(spec, cost_model, case_records)
-        for algorithm in spec.algorithms:
-            error_series, size_series = _error_series(
-                case_records[algorithm], reference, spec.error_cap
-            )
-            errors[algorithm].append(error_series)
-            sizes[algorithm].append(size_series)
+    The per-case reference frontier is the union of every algorithm's final
+    snapshot — assembled in spec algorithm order, exactly like the
+    pre-task-graph sequential loop — plus the case's reference-task frontier
+    when the scenario names a reference algorithm.
+    """
+    algorithm_records: Dict[
+        Tuple[GraphShape, int, int, str], Tuple[CheckpointRecord, ...]
+    ] = {}
+    reference_frontiers: Dict[
+        Tuple[GraphShape, int, int], List[Tuple[float, ...]]
+    ] = {}
+    for result in results:
+        task = result.task
+        if task.role == ROLE_REFERENCE:
+            key = (task.shape, task.num_tables, task.case_index)
+            reference_frontiers[key] = list(result.records[-1].frontier_costs)
+        else:
+            algorithm_records[
+                (task.shape, task.num_tables, task.case_index, task.algorithm)
+            ] = result.records
 
     if spec.step_checkpoints is not None:
         checkpoint_values = tuple(float(count) for count in spec.step_checkpoints)
     else:
         checkpoint_values = tuple(spec.checkpoints)
-    results: List[CellResult] = []
-    for algorithm in spec.algorithms:
-        median_errors = _median_over_cases(errors[algorithm])
-        median_sizes = _median_over_cases(sizes[algorithm])
-        results.append(
-            CellResult(
-                shape=shape,
-                num_tables=num_tables,
-                algorithm=algorithm,
-                checkpoints=checkpoint_values,
-                median_errors=tuple(median_errors),
-                median_frontier_sizes=tuple(median_sizes),
-            )
-        )
-    return results
 
-
-def _build_test_case(
-    spec: ScenarioSpec, shape: GraphShape, num_tables: int, case_index: int
-) -> MultiObjectiveCostModel:
-    """Generate the random query and cost model of one test case."""
-    query_rng = derive_rng(spec.seed, "query", str(shape), num_tables, case_index)
-    generator = QueryGenerator(
-        rng=query_rng,
-        config=GeneratorConfig(selectivity_model=spec.selectivity_model),
-    )
-    query: Query = generator.generate(
-        num_tables, shape, name=f"{shape}_{num_tables}_{case_index}"
-    )
-    metric_rng = derive_rng(spec.seed, "metrics", str(shape), num_tables, case_index)
-    metric_names = sample_metric_names(spec.num_metrics, metric_rng, spec.metric_pool)
-    return MultiObjectiveCostModel(query, metrics=metric_names)
-
-
-def _build_reference(
-    spec: ScenarioSpec,
-    cost_model: MultiObjectiveCostModel,
-    case_records: Dict[str, List[CheckpointRecord]],
-) -> List[Tuple[float, ...]]:
-    """Reference frontier for one test case.
-
-    The union of every algorithm's final snapshot is always included; when
-    the scenario names a reference algorithm (the precise small-query
-    experiments use DP(1.01)), its frontier is added to the union.
-    """
-    frontiers: List[List[Tuple[float, ...]]] = [
-        list(records[-1].frontier_costs) for records in case_records.values()
-    ]
-    if spec.reference_algorithm is not None:
-        alpha = _reference_alpha(spec.reference_algorithm)
-        reference = dp_reference_frontier(
-            cost_model, alpha=alpha, time_budget=spec.reference_time_budget
-        )
-        if reference:
-            frontiers.append(reference)
-    return union_reference_frontier(frontiers)
-
-
-def _reference_alpha(reference_algorithm: str) -> float:
-    """Extract the α value from a reference-algorithm name such as ``DP(1.01)``."""
-    if reference_algorithm.startswith("DP(") and reference_algorithm.endswith(")"):
-        inner = reference_algorithm[3:-1]
-        if inner.lower() == "infinity":
-            return float("inf")
-        return float(inner)
-    raise ValueError(
-        f"unsupported reference algorithm {reference_algorithm!r}; expected 'DP(<alpha>)'"
-    )
+    cells: List[CellResult] = []
+    for shape in spec.graph_shapes:
+        for num_tables in spec.table_counts:
+            errors: Dict[str, List[List[float]]] = {
+                name: [] for name in spec.algorithms
+            }
+            sizes: Dict[str, List[List[float]]] = {name: [] for name in spec.algorithms}
+            for case_index in range(spec.num_test_cases):
+                case_records = {
+                    algorithm: algorithm_records[
+                        (shape, num_tables, case_index, algorithm)
+                    ]
+                    for algorithm in spec.algorithms
+                }
+                frontiers: List[List[Tuple[float, ...]]] = [
+                    list(records[-1].frontier_costs)
+                    for records in case_records.values()
+                ]
+                if spec.reference_algorithm is not None:
+                    reference = reference_frontiers[(shape, num_tables, case_index)]
+                    if reference:
+                        frontiers.append(reference)
+                reference_frontier = union_reference_frontier(frontiers)
+                for algorithm in spec.algorithms:
+                    error_series, size_series = _error_series(
+                        case_records[algorithm], reference_frontier, spec.error_cap
+                    )
+                    errors[algorithm].append(error_series)
+                    sizes[algorithm].append(size_series)
+            for algorithm in spec.algorithms:
+                cells.append(
+                    CellResult(
+                        shape=shape,
+                        num_tables=num_tables,
+                        algorithm=algorithm,
+                        checkpoints=checkpoint_values,
+                        median_errors=tuple(_median_over_cases(errors[algorithm])),
+                        median_frontier_sizes=tuple(
+                            _median_over_cases(sizes[algorithm])
+                        ),
+                    )
+                )
+    return tuple(cells)
 
 
 def _error_series(

@@ -72,12 +72,12 @@ class ScenarioSpec:
     seed:
         Base seed; all randomness of the scenario derives from it.
     workers:
-        Number of worker processes used to execute the grid cells.  ``1``
-        (the default) keeps the original strictly sequential path; with
-        ``N > 1`` the independent (shape, size) cells run on a process pool.
-        Per-cell randomness is derived from ``seed`` and the cell coordinates
-        alone, never from execution order — but wall-clock budgets remain
-        load-sensitive (concurrent cells get less CPU per second, so anytime
+        Number of worker processes used to execute the benchmark tasks.
+        ``1`` (the default) keeps the original strictly sequential path; with
+        ``N > 1`` independent tasks run on a process pool.  Per-task
+        randomness is derived from ``seed`` and the task coordinates alone,
+        never from execution order — but wall-clock budgets remain
+        load-sensitive (concurrent tasks get less CPU per second, so anytime
         loops fit fewer iterations), so results are guaranteed identical for
         every worker count only when ``step_checkpoints`` drives the run.
     step_checkpoints:
@@ -85,7 +85,13 @@ class ScenarioSpec:
         driven for exactly these step counts (instead of the wall-clock
         ``time_budget``/``checkpoints``), which makes the whole scenario
         fully deterministic — ``run_scenario`` then returns bit-identical
-        results for every worker count.
+        results for every worker count, granularity, and sharding.
+    granularity:
+        Unit of work dispatched to worker processes: ``"cell"`` submits all
+        tasks of one (shape, size) grid cell together (cheap IPC, the
+        pre-task-graph behavior), ``"case"`` submits every
+        (cell, case, algorithm) leaf task individually (parallelism within a
+        cell, for scenarios with few cells).  Ignored when ``workers == 1``.
     """
 
     name: str
@@ -108,6 +114,7 @@ class ScenarioSpec:
     extra: Tuple[Tuple[str, str], ...] = field(default=())
     workers: int = 1
     step_checkpoints: Tuple[int, ...] | None = None
+    granularity: str = "cell"
 
     def __post_init__(self) -> None:
         if not self.graph_shapes:
@@ -143,6 +150,10 @@ class ScenarioSpec:
                 raise ValueError("step checkpoints must be positive step counts")
             if tuple(sorted(self.step_checkpoints)) != tuple(self.step_checkpoints):
                 raise ValueError("step checkpoints must be sorted ascending")
+        if self.granularity not in ("cell", "case"):
+            raise ValueError(
+                f"granularity must be 'cell' or 'case', got {self.granularity!r}"
+            )
 
     # ------------------------------------------------------------ utilities
     @property
@@ -174,3 +185,67 @@ class ScenarioSpec:
         if scale is not None:
             updates["scale"] = scale
         return replace(self, **updates)
+
+    # -------------------------------------------------------- serialization
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation of the spec (used by shard files).
+
+        The mapping round-trips exactly through :meth:`from_json_dict`:
+        enums become their string values, tuples become lists.
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "graph_shapes": [str(shape) for shape in self.graph_shapes],
+            "table_counts": list(self.table_counts),
+            "num_metrics": self.num_metrics,
+            "algorithms": list(self.algorithms),
+            "num_test_cases": self.num_test_cases,
+            "selectivity_model": str(self.selectivity_model),
+            "metric_pool": list(self.metric_pool),
+            "time_budget": self.time_budget,
+            "checkpoints": list(self.checkpoints),
+            "reference_algorithm": self.reference_algorithm,
+            "reference_time_budget": self.reference_time_budget,
+            "error_cap": self.error_cap,
+            "nsga_population": self.nsga_population,
+            "seed": self.seed,
+            "scale": str(self.scale),
+            "extra": [list(pair) for pair in self.extra],
+            "workers": self.workers,
+            "step_checkpoints": (
+                None if self.step_checkpoints is None else list(self.step_checkpoints)
+            ),
+            "granularity": self.granularity,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output."""
+        return cls(
+            name=data["name"],
+            description=data["description"],
+            graph_shapes=tuple(GraphShape(shape) for shape in data["graph_shapes"]),
+            table_counts=tuple(data["table_counts"]),
+            num_metrics=data["num_metrics"],
+            algorithms=tuple(data["algorithms"]),
+            num_test_cases=data["num_test_cases"],
+            selectivity_model=SelectivityModel(data["selectivity_model"]),
+            metric_pool=tuple(data["metric_pool"]),
+            time_budget=data["time_budget"],
+            checkpoints=tuple(data["checkpoints"]),
+            reference_algorithm=data["reference_algorithm"],
+            reference_time_budget=data["reference_time_budget"],
+            error_cap=data["error_cap"],
+            nsga_population=data["nsga_population"],
+            seed=data["seed"],
+            scale=ScenarioScale(data["scale"]),
+            extra=tuple(tuple(pair) for pair in data["extra"]),
+            workers=data["workers"],
+            step_checkpoints=(
+                None
+                if data["step_checkpoints"] is None
+                else tuple(data["step_checkpoints"])
+            ),
+            granularity=data.get("granularity", "cell"),
+        )

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from repro.cost.model import MultiObjectiveCostModel
 from repro.plans.plan import Plan
@@ -104,16 +104,63 @@ class AnytimeOptimizer(ABC):
         """
         if time_budget is None and max_steps is None:
             raise ValueError("need a time budget and/or a step budget")
-        start = time.perf_counter()
-        steps = 0
-        while not self.finished:
-            if max_steps is not None and steps >= max_steps:
-                break
-            if time_budget is not None and time.perf_counter() - start >= time_budget:
-                break
-            self.step()
-            steps += 1
+        run_steps(self, max_steps=max_steps, time_budget=time_budget)
         return self.frontier()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(query={self.query.name!r})"
+
+
+def run_steps(
+    optimizer: AnytimeOptimizer,
+    max_steps: int | None = None,
+    time_budget: float | None = None,
+    on_tick: Callable[[int, float], bool | None] | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> int:
+    """The one stepping loop shared by every driver in the library.
+
+    ``AnytimeOptimizer.run``, the checkpointed evaluators in
+    ``repro.bench.anytime``, and the benchmark task executor all drive
+    ``step()`` through this helper instead of hand-rolling their own
+    ``while`` loops, so budget semantics cannot drift apart.
+
+    Parameters
+    ----------
+    optimizer:
+        The optimizer to drive; stepped in place.
+    max_steps:
+        Maximum number of ``step()`` calls (``0`` is allowed and steps never).
+    time_budget:
+        Wall-clock budget in seconds, measured with ``clock`` from loop entry
+        and checked between steps.
+    on_tick:
+        Optional observer called at the top of every loop iteration as
+        ``on_tick(steps_taken, elapsed)`` — before the finished/budget
+        checks, so it always runs exactly once more after the final step,
+        whatever ends the run.  Returning a truthy value stops the run
+        (used by the anytime evaluator once every checkpoint has been
+        snapshotted).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+
+    Returns
+    -------
+    int
+        The number of steps actually taken.
+    """
+    start = clock()
+    steps = 0
+    while True:
+        elapsed = clock() - start
+        if on_tick is not None and on_tick(steps, elapsed):
+            break
+        if optimizer.finished:
+            break
+        if max_steps is not None and steps >= max_steps:
+            break
+        if time_budget is not None and elapsed >= time_budget:
+            break
+        optimizer.step()
+        steps += 1
+    return steps

@@ -39,6 +39,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             run(["figure3", "--scale", "smoke", "--workers", "0"])
 
+    def test_granularity_flag(self):
+        args = build_parser().parse_args(["figure1", "--granularity", "case"])
+        assert args.granularity == "case"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--granularity", "query"])
+
+    def test_steps_and_shard_flags(self):
+        args = build_parser().parse_args(
+            ["figure1", "--steps", "--shard", "0/2", "--out", "x.json"]
+        )
+        assert args.steps is True
+        assert args.shard == "0/2"
+        assert args.out == "x.json"
+
+    def test_invalid_shard_designators_rejected(self):
+        for designator in ("2", "a/b", "2/2", "-1/2", "0/0"):
+            with pytest.raises(SystemExit):
+                run(["figure1", "--scale", "smoke", "--shard", designator])
+
+    def test_figure3_rejects_shard_and_steps(self):
+        with pytest.raises(SystemExit):
+            run(["figure3", "--shard", "0/2"])
+        with pytest.raises(SystemExit):
+            run(["figure3", "--steps"])
+
 
 class TestRun:
     def test_figure3_smoke_report(self):
@@ -70,3 +95,54 @@ class TestRun:
         output = capsys.readouterr().out
         assert "Scenario: figure8" in output
         assert "Winners per cell" in output
+
+
+class TestShardAndMerge:
+    """End-to-end: two --shard runs plus merge equal the sequential run."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_step_figure(self, monkeypatch):
+        from repro.bench import figures
+        from repro.bench.scenario import ScenarioScale
+
+        original = figures.FIGURE_SPECS["figure1"]
+
+        def tiny_spec(scale=ScenarioScale.DEFAULT):
+            return figures.step_variant(
+                original(ScenarioScale.SMOKE).with_scale_overrides(
+                    table_counts=(4,), num_test_cases=1
+                ),
+                step_checkpoints=(1, 2),
+            )
+
+        monkeypatch.setitem(figures.STEP_FIGURE_SPECS, "figure1", tiny_spec)
+
+    def test_shard_merge_matches_sequential_report(self, tmp_path):
+        paths = []
+        for index in range(2):
+            out = str(tmp_path / f"shard{index}.json")
+            report = run(
+                [
+                    "figure1",
+                    "--scale",
+                    "smoke",
+                    "--steps",
+                    "--shard",
+                    f"{index}/2",
+                    "--out",
+                    out,
+                ]
+            )
+            assert "Task provenance" in report
+            assert f"shard {index}/2" in report
+            paths.append(out)
+        merged = run(["merge", *paths])
+        sequential = run(["figure1", "--scale", "smoke", "--steps"])
+        assert merged == sequential
+        assert "step=1  step=2" in merged
+
+    def test_merge_rejects_incomplete_shards(self, tmp_path):
+        out = str(tmp_path / "only.json")
+        run(["figure1", "--scale", "smoke", "--steps", "--shard", "0/2", "--out", out])
+        with pytest.raises(ValueError, match="missing shard indices"):
+            run(["merge", out])

@@ -1,0 +1,65 @@
+"""Tests for the figure specs' wall-clock-free (step-driven) variants.
+
+Every figure spec must have a step-driven twin so the whole figure suite can
+be regression-tested deterministically in CI; ``TestStepFigureRuns`` runs a
+micro-scaled instance of every one of them end-to-end through the task-graph
+runner.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.runner import run_scenario
+from repro.bench.scenario import ScenarioScale
+
+ALL_FIGURES = sorted(figures.FIGURE_SPECS)
+
+
+class TestStepVariants:
+    @pytest.mark.parametrize("figure_id", ALL_FIGURES)
+    def test_every_figure_has_a_step_twin(self, figure_id):
+        assert figure_id in figures.STEP_FIGURE_SPECS
+
+    @pytest.mark.parametrize("figure_id", ALL_FIGURES)
+    @pytest.mark.parametrize("scale", list(ScenarioScale))
+    def test_step_variants_construct_at_all_scales(self, figure_id, scale):
+        spec = figures.STEP_FIGURE_SPECS[figure_id](scale)
+        assert spec.step_checkpoints == figures.STEP_CHECKPOINTS[scale]
+        # Wall-clock-free: no reference time budget either — the DP
+        # reference runs to completion under its step-count safety cap.
+        assert spec.reference_time_budget is None
+        # Grid, metrics, and algorithms match the wall-clock spec.
+        wall_clock = figures.FIGURE_SPECS[figure_id](scale)
+        assert spec.graph_shapes == wall_clock.graph_shapes
+        assert spec.table_counts == wall_clock.table_counts
+        assert spec.algorithms == wall_clock.algorithms
+        assert spec.num_metrics == wall_clock.num_metrics
+
+    def test_step_variant_accepts_explicit_checkpoints(self):
+        spec = figures.step_variant(figures.figure1_spec(), step_checkpoints=(3, 9))
+        assert spec.step_checkpoints == (3, 9)
+
+
+class TestStepFigureRuns:
+    """Every step-driven figure spec runs end-to-end (micro-scaled)."""
+
+    @pytest.mark.parametrize("figure_id", ALL_FIGURES)
+    def test_step_figure_runs_deterministically(self, figure_id):
+        spec = figures.STEP_FIGURE_SPECS[figure_id](ScenarioScale.SMOKE)
+        micro = dataclasses.replace(
+            spec,
+            graph_shapes=spec.graph_shapes[:1],
+            table_counts=(min(spec.table_counts),),
+            num_test_cases=1,
+            step_checkpoints=(1, 2),
+        )
+        result = run_scenario(micro)
+        assert len(result.cells) == len(micro.algorithms)
+        for cell in result.cells:
+            assert cell.checkpoints == (1.0, 2.0)
+            assert all(error >= 1.0 for error in cell.median_errors)
+        # Step-driven runs are fully deterministic: repeating the run
+        # reproduces the exact result.
+        assert run_scenario(micro).cells == result.cells

@@ -5,7 +5,7 @@ from typing import List
 
 import pytest
 
-from repro.core.interface import AnytimeOptimizer, OptimizerStatistics
+from repro.core.interface import AnytimeOptimizer, OptimizerStatistics, run_steps
 from repro.plans.plan import Plan
 
 
@@ -77,3 +77,54 @@ class TestRunDriver:
         assert optimizer.cost_model is chain_model
         assert optimizer.query is chain_query_4
         assert optimizer.finished is False
+
+
+class TestRunSteps:
+    """The shared stepping loop used by run(), the evaluators, and the
+    benchmark task executor."""
+
+    def test_returns_steps_taken(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        assert run_steps(optimizer, max_steps=5) == 5
+        assert optimizer.statistics.steps == 5
+
+    def test_zero_step_budget_takes_no_steps(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        assert run_steps(optimizer, max_steps=0) == 0
+        assert optimizer.statistics.steps == 0
+
+    def test_finished_stops_before_budget(self, chain_model):
+        optimizer = CountingOptimizer(chain_model, finish_after=2)
+        assert run_steps(optimizer, max_steps=50) == 2
+
+    def test_time_budget_with_injected_clock(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        ticks = iter([0.0, 0.0, 1.0, 2.0, 3.0])
+        assert run_steps(optimizer, time_budget=2.0, clock=lambda: next(ticks)) == 2
+
+    def test_on_tick_observes_steps_and_elapsed(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        observed = []
+
+        def on_tick(steps, elapsed):
+            observed.append(steps)
+            return False
+
+        run_steps(optimizer, max_steps=3, on_tick=on_tick)
+        # Called before each step and once more before the final budget check.
+        assert observed == [0, 1, 2, 3]
+
+    def test_on_tick_truthy_return_stops_run(self, chain_model):
+        optimizer = CountingOptimizer(chain_model)
+        taken = run_steps(optimizer, max_steps=100, on_tick=lambda steps, _: steps >= 4)
+        assert taken == 4
+
+    def test_on_tick_runs_once_more_after_finishing_step(self, chain_model):
+        optimizer = CountingOptimizer(chain_model, finish_after=2)
+        observed = []
+        run_steps(
+            optimizer, max_steps=10, on_tick=lambda steps, _: observed.append(steps)
+        )
+        # The tick after the second (finishing) step still fires, so
+        # observers see the post-final-step state.
+        assert observed == [0, 1, 2]

@@ -137,3 +137,77 @@ class TestNonDominatedSortAndCrowding:
         assert crowdings[-1] == float("inf")
         assert crowdings[-2] == float("inf")
         assert crowdings[0] < float("inf")
+
+
+class TestVectorizedEquivalence:
+    """The vectorized sort/crowding must reproduce the scalar specification
+    exactly — ranks, crowding values, and the order of individuals within
+    fronts (which downstream stable sorts tie-break on)."""
+
+    def _population(self, optimizer, costs):
+        individuals = []
+        for cost in costs:
+            individual = Individual(genome=(), plan=None)
+            individual.plan = type("FakePlan", (), {"cost": cost, "num_nodes": 1})()
+            individuals.append(individual)
+        return individuals
+
+    def _random_costs(self, rng, count, metrics, values=6):
+        # Coarse integer grid: plenty of duplicate costs and per-metric ties,
+        # the cases where an inexact reimplementation would diverge.
+        return [
+            tuple(float(rng.randrange(values)) for _ in range(metrics))
+            for _ in range(count)
+        ]
+
+    def test_sort_matches_scalar_on_random_populations(self, optimizer):
+        rng = random.Random(20160626)
+        for _ in range(50):
+            costs = self._random_costs(rng, rng.randrange(1, 25), rng.choice([2, 3]))
+            vectorized = self._population(optimizer, costs)
+            scalar = self._population(optimizer, costs)
+            fronts_vec = NSGA2Optimizer._fast_non_dominated_sort(vectorized)
+            fronts_ref = NSGA2Optimizer._fast_non_dominated_sort_scalar(scalar)
+            positions_vec = [
+                [vectorized.index(ind) for ind in front] for front in fronts_vec
+            ]
+            positions_ref = [
+                [scalar.index(ind) for ind in front] for front in fronts_ref
+            ]
+            assert positions_vec == positions_ref
+            assert [ind.rank for ind in vectorized] == [ind.rank for ind in scalar]
+
+    def test_crowding_matches_scalar_on_random_fronts(self, optimizer):
+        rng = random.Random(7)
+        for _ in range(50):
+            costs = self._random_costs(rng, rng.randrange(1, 20), rng.choice([2, 3]))
+            vectorized = self._population(optimizer, costs)
+            scalar = self._population(optimizer, costs)
+            original_vec, original_ref = list(vectorized), list(scalar)
+            NSGA2Optimizer._assign_crowding(vectorized)
+            NSGA2Optimizer._assign_crowding_scalar(scalar)
+            # Same final list order (the scalar path re-sorts in place)...
+            assert [original_vec.index(ind) for ind in vectorized] == [
+                original_ref.index(ind) for ind in scalar
+            ]
+            # ...and bit-identical crowding values, infinities included.
+            for index in range(len(costs)):
+                assert original_vec[index].crowding == original_ref[index].crowding
+
+    def test_full_evolution_matches_scalar_path(self, chain_model):
+        def evolve(use_scalar):
+            optimizer = NSGA2Optimizer(
+                chain_model, rng=random.Random(42), population_size=12
+            )
+            if use_scalar:
+                optimizer._fast_non_dominated_sort = (
+                    NSGA2Optimizer._fast_non_dominated_sort_scalar
+                )
+                optimizer._assign_crowding = NSGA2Optimizer._assign_crowding_scalar
+            for _ in range(5):
+                optimizer.step()
+            return [
+                (ind.genome, ind.rank, ind.crowding) for ind in optimizer.population
+            ]
+
+        assert evolve(use_scalar=False) == evolve(use_scalar=True)

@@ -78,6 +78,18 @@ class TestScenarioSpecValidation:
         with pytest.raises(ValueError):
             _minimal_spec(step_checkpoints=(4, 2))
 
+    def test_granularity_accepted(self):
+        assert _minimal_spec().granularity == "cell"
+        assert _minimal_spec(granularity="case").granularity == "case"
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            _minimal_spec(granularity="query")
+
+    def test_json_round_trip(self):
+        spec = _minimal_spec(step_checkpoints=(2, 4), granularity="case")
+        assert ScenarioSpec.from_json_dict(spec.to_json_dict()) == spec
+
     def test_with_scale_overrides(self):
         spec = _minimal_spec()
         modified = spec.with_scale_overrides(
