@@ -25,6 +25,35 @@ Sharding: :func:`shard_tasks` deterministically assigns leaf ``i`` of the
 schedule to shard ``i % count``; :func:`write_shard` /
 :func:`load_shards` serialize results to JSON so a later ``merge``
 invocation (CLI) can reduce them without re-running anything.
+
+Examples
+--------
+Schedules are pure functions of the spec, and leaves are pure functions of
+``(spec, task)`` — running a leaf twice (or on another machine) gives the
+same result:
+
+>>> from repro.bench.scenario import ScenarioSpec
+>>> from repro.bench.tasks import execute_task, schedule_tasks
+>>> from repro.query.join_graph import GraphShape
+>>> spec = ScenarioSpec(
+...     name="example", description="doctest grid",
+...     graph_shapes=(GraphShape.CHAIN,), table_counts=(4,),
+...     num_metrics=2, algorithms=("RandomSampling",),
+...     num_test_cases=2, step_checkpoints=(2,))
+>>> tasks = schedule_tasks(spec)
+>>> len(tasks)                         # 1 cell x 2 cases x 1 algorithm
+2
+>>> tasks[0].task_id
+'algorithm:chain:4:0:RandomSampling'
+>>> result = execute_task(spec, tasks[0])
+>>> result.steps                       # driven for exactly the step budget
+2
+>>> rerun = execute_task(spec, tasks[0])   # same coordinates, same frontiers
+>>> rerun.records[-1].frontier_costs == result.records[-1].frontier_costs
+True
+
+(Only the wall-clock seconds in the provenance trace vary between runs —
+every frontier snapshot is a pure function of ``(spec, task)``.)
 """
 
 from __future__ import annotations

@@ -14,6 +14,28 @@ therefore implements the same anytime protocol:
 
 The benchmark harness snapshots ``frontier()`` at checkpoints to produce the
 error-versus-time series shown in the paper's figures.
+
+Examples
+--------
+Every driver in the library funnels through :func:`run_steps`, so budget
+semantics are defined in exactly one place:
+
+>>> from repro.core.interface import run_steps
+>>> class CountingOptimizer:
+...     finished = False
+...     def __init__(self):
+...         self.steps_taken = 0
+...     def step(self):
+...         self.steps_taken += 1
+>>> optimizer = CountingOptimizer()
+>>> run_steps(optimizer, max_steps=5)
+5
+>>> ticks = []
+>>> run_steps(optimizer, max_steps=3,
+...           on_tick=lambda steps, elapsed: ticks.append(steps))
+3
+>>> ticks          # observer runs before every step and once after the last
+[0, 1, 2, 3]
 """
 
 from __future__ import annotations

@@ -33,6 +33,7 @@ from typing import Dict, List
 from repro.cost.model import PlanFactory
 from repro.pareto.dominance import strictly_dominates
 from repro.pareto.engine import SMALL_SET_SIZE, as_cost_matrix, dominance_fold
+from repro.pareto.store import resolve_store_policy, sorted_dominance_fold
 from repro.plans.operators import DataFormat
 from repro.plans.plan import JoinPlan, Plan
 from repro.plans.transformations import TransformationRules
@@ -71,6 +72,13 @@ class ParetoClimber:
         Safety bound on the number of climbing steps (the climb always
         terminates because every move strictly dominates its predecessor,
         but a bound keeps worst cases predictable).
+    store:
+        Frontier store policy (see :mod:`repro.pareto.store`) accelerating
+        the per-format candidate pruning: any indexed policy resolves large
+        candidate groups through the first-objective-windowed
+        :func:`~repro.pareto.store.sorted_dominance_fold`, ``"flat"`` pins
+        the plain vectorized fold.  The selected plan is identical either
+        way.
     """
 
     def __init__(
@@ -78,12 +86,14 @@ class ParetoClimber:
         factory: PlanFactory,
         rules: TransformationRules | None = None,
         max_steps: int = 10_000,
+        store: str | None = None,
     ) -> None:
         if max_steps < 1:
             raise ValueError(f"max_steps must be positive, got {max_steps}")
         self._factory = factory
         self._rules = rules if rules is not None else TransformationRules()
         self._max_steps = max_steps
+        self._store_policy = resolve_store_policy(store)
         self._plans_built = 0
 
     # ------------------------------------------------------------ ParetoStep
@@ -142,6 +152,11 @@ class ParetoClimber:
         """The transformation rules defining the neighborhood."""
         return self._rules
 
+    @property
+    def store_policy(self) -> str:
+        """Frontier-store policy used for large-group pruning."""
+        return self._store_policy
+
     # ------------------------------------------------------------- internals
     def _rebuild(self, original: JoinPlan, outer: Plan, inner: Plan) -> JoinPlan:
         """Rebuild the original join on top of possibly improved children."""
@@ -149,17 +164,20 @@ class ParetoClimber:
             return original
         return self._rules.rebuild_join(outer, inner, original.operator, self._factory)
 
-    @staticmethod
-    def _prune_per_format(candidates: List[Plan]) -> Dict[DataFormat, Plan]:
+    def _prune_per_format(self, candidates: List[Plan]) -> Dict[DataFormat, Plan]:
         """Keep one non-dominated candidate per output data representation.
 
         When two candidates of the same representation are mutually
         non-dominated the incumbent is kept; Section 4.2 explicitly allows
         selecting an arbitrary non-dominated neighbor instead of branching.
-        Large candidate groups resolve the sequential fold through the
-        vectorized :func:`repro.pareto.engine.dominance_fold`, which selects
-        exactly the same plan as the scalar loop.
+        Large candidate groups resolve the sequential fold through a
+        vectorized kernel — :func:`repro.pareto.engine.dominance_fold`
+        under the ``flat`` policy, the first-objective-windowed
+        :func:`repro.pareto.store.sorted_dominance_fold` under any indexed
+        policy — both of which select exactly the same plan as the scalar
+        loop.
         """
+        fold = dominance_fold if self._store_policy == "flat" else sorted_dominance_fold
         groups: Dict[DataFormat, List[Plan]] = {}
         for candidate in candidates:
             groups.setdefault(candidate.output_format, []).append(candidate)
@@ -167,7 +185,7 @@ class ParetoClimber:
         for output_format, group in groups.items():
             if len(group) > SMALL_SET_SIZE:
                 costs = as_cost_matrix([plan.cost for plan in group])
-                best[output_format] = group[dominance_fold(costs)]
+                best[output_format] = group[fold(costs)]
                 continue
             incumbent = group[0]
             for candidate in group[1:]:

@@ -31,9 +31,16 @@ from repro.plans.plan import Plan
 
 
 class PlanCache:
-    """Cache of non-dominated partial plans per intermediate result."""
+    """Cache of non-dominated partial plans per intermediate result.
 
-    def __init__(self) -> None:
+    ``store`` pins the frontier store backing each per-table-set entry (see
+    :mod:`repro.pareto.store`).  The default ``auto`` policy keeps the
+    typically hand-sized entries on the flat fast path and only builds an
+    index for table sets whose frontiers grow unusually large.
+    """
+
+    def __init__(self, store: str | None = None) -> None:
+        self._store = store
         self._entries: Dict[FrozenSet[int], Tuple[List[Plan], ParetoSet]] = {}
         # Output formats are compared by identity (``is``), exactly like the
         # original ``SigBetter``; each distinct format object gets a small
@@ -85,7 +92,7 @@ class PlanCache:
         key = plan.rel
         entry = self._entries.get(key)
         if entry is None:
-            entry = ([], ParetoSet())
+            entry = ([], ParetoSet(store=self._store))
             self._entries[key] = entry
         plans, costs = entry
         accepted, evicted = costs.insert(

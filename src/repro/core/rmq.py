@@ -53,6 +53,10 @@ class RMQOptimizer(AnytimeOptimizer):
     left_deep_only:
         When True, random plans are drawn from the left-deep space instead of
         the unconstrained bushy space (Section 4.1 notes this variation).
+    store:
+        Frontier store policy (see :mod:`repro.pareto.store`) passed through
+        to the plan cache and the hill climber; results are identical for
+        every policy, only query acceleration differs.
     """
 
     name = "RMQ"
@@ -66,14 +70,15 @@ class RMQOptimizer(AnytimeOptimizer):
         use_plan_cache: bool = True,
         use_climbing: bool = True,
         left_deep_only: bool = False,
+        store: str | None = None,
     ) -> None:
         super().__init__(cost_model)
         self._rng = rng if rng is not None else random.Random()
         self._rules = rules if rules is not None else TransformationRules()
         self._generator = RandomPlanGenerator(cost_model, self._rng)
-        self._climber = ParetoClimber(cost_model, self._rules)
+        self._climber = ParetoClimber(cost_model, self._rules, store=store)
         self._approximator = FrontierApproximator(cost_model, schedule)
-        self._cache = PlanCache()
+        self._cache = PlanCache(store=store)
         self._iteration = 0
         self._use_plan_cache = use_plan_cache
         self._use_climbing = use_climbing

@@ -1,0 +1,123 @@
+"""Documentation checks: doctests and link integrity.
+
+Two guarantees keep the docs honest:
+
+* every ``>>>`` example — in the module docstrings of the documented
+  subsystems and in the markdown files under ``docs/`` — is executed and
+  must produce exactly the shown output;
+* every relative link in the markdown docs must point to an existing file,
+  and every ``#fragment`` to a real heading anchor (GitHub slug rules).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown documents whose doctests run and whose links are checked.
+DOC_FILES = (
+    "README.md",
+    "ARCHITECTURE.md",
+    "docs/API.md",
+    "docs/TUTORIAL.md",
+)
+
+#: Modules whose docstring examples are part of the documentation.
+DOCTEST_MODULES = (
+    "repro.pareto.engine",
+    "repro.bench.tasks",
+    "repro.core.interface",
+)
+
+#: Markdown files containing executable ``>>>`` examples.
+DOCTEST_FILES = ("docs/API.md", "docs/TUTORIAL.md")
+
+
+# ---------------------------------------------------------------------------
+# Doctests
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_module_doctests(module_name):
+    module = __import__(module_name, fromlist=["_"])
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module_name} has no doctest examples"
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"
+
+
+@pytest.mark.parametrize("relative_path", DOCTEST_FILES)
+def test_markdown_doctests(relative_path):
+    results = doctest.testfile(
+        str(REPO_ROOT / relative_path),
+        module_relative=False,
+        verbose=False,
+        optionflags=doctest.ELLIPSIS,
+    )
+    assert results.attempted > 0, f"{relative_path} has no doctest examples"
+    assert results.failed == 0, f"{relative_path}: {results.failed} doctest failures"
+
+
+# ---------------------------------------------------------------------------
+# Link and anchor integrity
+# ---------------------------------------------------------------------------
+_LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation, dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: str) -> set:
+    anchors = set()
+    without_code = _CODE_FENCE.sub("", markdown)
+    for match in _HEADING_PATTERN.finditer(without_code):
+        anchors.add(_github_slug(match.group(2)))
+    return anchors
+
+
+def _links(markdown: str):
+    without_code = _CODE_FENCE.sub("", markdown)
+    return _LINK_PATTERN.findall(without_code)
+
+
+@pytest.mark.parametrize("relative_path", DOC_FILES)
+def test_markdown_links_resolve(relative_path):
+    source = REPO_ROOT / relative_path
+    markdown = source.read_text(encoding="utf-8")
+    problems = []
+    for target in _links(markdown):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            destination = (source.parent / path_part).resolve()
+            if not destination.exists():
+                problems.append(f"{target}: file {path_part!r} does not exist")
+                continue
+        else:
+            destination = source
+        if fragment:
+            if destination.suffix.lower() != ".md":
+                continue
+            available = _anchors(destination.read_text(encoding="utf-8"))
+            if fragment not in available:
+                problems.append(
+                    f"{target}: anchor #{fragment} not among headings of "
+                    f"{destination.name} ({sorted(available)})"
+                )
+    assert not problems, f"{relative_path}: " + "; ".join(problems)
+
+
+def test_doc_files_exist():
+    for relative_path in DOC_FILES + ("ROADMAP.md", "PAPER.md", "CHANGES.md"):
+        assert (REPO_ROOT / relative_path).exists(), relative_path

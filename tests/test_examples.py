@@ -63,10 +63,15 @@ class TestExamplesRun:
         module = load_example("large_query_scaling")
         # Keep the per-query budget tiny; the point is that every size yields plans.
         original_sizes = (10, 25, 50, 75, 100)
-        module.main(budget=0.1, seed=1)
+        module.main(budget=0.1, seed=1, store_demo_plans=150)
         output = capsys.readouterr().out
         for size in original_sizes:
             assert str(size) in output
+        # The frontier-store section promised in the module docstring.
+        assert "Frontier-store comparison" in output
+        for store in ("flat", "sorted", "ndtree", "auto"):
+            assert store in output
+        assert "all stores kept identical frontiers" in output
 
     def test_interactive_frontier(self, capsys):
         module = load_example("interactive_frontier")
@@ -74,6 +79,15 @@ class TestExamplesRun:
         output = capsys.readouterr().out
         assert "tradeoffs available" in output
         assert "x = time" in output
+        # The archive summary promised in the module docstring.
+        assert "candidate archive:" in output
+        assert "policy: auto" in output
+
+    def test_interactive_frontier_pinned_store(self, capsys):
+        module = load_example("interactive_frontier")
+        module.main(seed=3, store="sorted")
+        output = capsys.readouterr().out
+        assert "store: sorted, policy: sorted" in output
 
     def test_interactive_frontier_render_helper(self):
         module = load_example("interactive_frontier")
