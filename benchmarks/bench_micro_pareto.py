@@ -30,6 +30,11 @@ second of a small step-driven scenario) through the task-graph pipeline —
 sequential and process-pool at ``case`` granularity — verifies the two
 modes agree bit-for-bit, and writes ``BENCH_runner.json``.
 
+The *coordinator* section measures the same scenario through the dynamic
+lease-based backend (``backend="coordinator"``, 1 and 2 workers) plus a
+cold-vs-warm ``TaskCache`` run, verifies every mode agrees with the
+sequential result bit-for-bit, and writes ``BENCH_coordinator.json``.
+
 Run as a script (``python benchmarks/bench_micro_pareto.py``) or via pytest
 (``pytest benchmarks/bench_micro_pareto.py``).
 """
@@ -51,6 +56,7 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pareto.json")
 FRONTIER_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_frontier.json")
 RUNNER_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_runner.json")
+COORDINATOR_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_coordinator.json")
 
 NUM_VECTORS = 1000
 NUM_METRICS = 3
@@ -402,6 +408,105 @@ def test_runner_throughput_recorded():
     assert report["tasks_per_second"]["sequential"] > 0
 
 
+# ---------------------------------------------------------------------------
+# Coordinator throughput (dynamic lease-based backend + task cache)
+# ---------------------------------------------------------------------------
+def run_coordinator_benchmark(write_json: bool = True) -> Dict[str, object]:
+    """Measure task throughput through the coordinator backend.
+
+    Runs the runner micro-scenario through ``backend="coordinator"`` with
+    1 and 2 workers, then cold-vs-warm through a ``TaskCache``.  All modes
+    must match the sequential result bit-for-bit; the warm-cache run
+    additionally leases zero tasks (every leaf is a cache hit).
+    """
+    import tempfile
+    import timeit as _timeit
+
+    from repro.bench.runner import run_scenario
+    from repro.bench.tasks import clear_reference_memo, schedule_tasks
+    from repro.dist import TaskCache
+
+    spec = _runner_spec()
+    num_tasks = len(schedule_tasks(spec))
+    clear_reference_memo()
+    sequential = run_scenario(spec, workers=1)
+    seconds: Dict[str, float] = {}
+    matches: Dict[str, bool] = {}
+    for name, kwargs in (
+        ("coordinator_1_worker", dict(backend="coordinator", workers=1)),
+        ("coordinator_2_workers", dict(backend="coordinator", workers=2)),
+    ):
+        result = run_scenario(spec, **kwargs)
+        matches[name] = result.cells == sequential.cells
+        repeats = 3 if kwargs["workers"] == 1 else 1
+        seconds[name] = min(
+            _timeit.repeat(
+                lambda: run_scenario(spec, **kwargs), number=1, repeat=repeats
+            )
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_cache = TaskCache(os.path.join(tmp, "cache"))
+        started = _timeit.default_timer()
+        cold = run_scenario(spec, backend="coordinator", workers=1, cache=cold_cache)
+        seconds["coordinator_cold_cache"] = _timeit.default_timer() - started
+        matches["coordinator_cold_cache"] = cold.cells == sequential.cells
+        warm_cache = TaskCache(os.path.join(tmp, "cache"))
+        started = _timeit.default_timer()
+        warm = run_scenario(spec, backend="coordinator", workers=1, cache=warm_cache)
+        seconds["coordinator_warm_cache"] = _timeit.default_timer() - started
+        matches["coordinator_warm_cache"] = warm.cells == sequential.cells
+        warm_hits = warm_cache.stats["hits"]
+    report: Dict[str, object] = {
+        "num_tasks": num_tasks,
+        "step_checkpoints": list(spec.step_checkpoints),
+        "seed": SEED,
+        "seconds": seconds,
+        "tasks_per_second": {
+            name: num_tasks / elapsed for name, elapsed in seconds.items()
+        },
+        "warm_cache_hits": warm_hits,
+        "matches_sequential": matches,
+    }
+    if write_json:
+        with open(COORDINATOR_RESULT_PATH, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def _format_coordinator_report(report: Dict[str, object]) -> str:
+    seconds = report["seconds"]
+    rates = report["tasks_per_second"]
+    lines = [
+        f"Coordinator throughput micro-benchmark ({report['num_tasks']} leaf "
+        f"tasks, step checkpoints {report['step_checkpoints']}):"
+    ]
+    for name in (
+        "coordinator_1_worker",
+        "coordinator_2_workers",
+        "coordinator_cold_cache",
+        "coordinator_warm_cache",
+    ):
+        lines.append(
+            f"  {name:<24} {seconds[name] * 1e3:8.2f} ms "
+            f"({rates[name]:.1f} tasks/s)"
+        )
+    lines.append(
+        f"  warm cache hits: {report['warm_cache_hits']}/{report['num_tasks']}"
+    )
+    return "\n".join(lines)
+
+
+def test_coordinator_throughput_recorded():
+    """Coordinator modes match sequential bit-for-bit; warm cache hits all."""
+    report = run_coordinator_benchmark()
+    print()
+    print(_format_coordinator_report(report))
+    assert all(report["matches_sequential"].values()), report["matches_sequential"]
+    assert report["warm_cache_hits"] == report["num_tasks"]
+    assert report["tasks_per_second"]["coordinator_1_worker"] > 0
+
+
 def main() -> int:
     report = run_benchmark()
     print(_format_report(report))
@@ -412,6 +517,9 @@ def main() -> int:
     runner_report = run_runner_benchmark()
     print(_format_runner_report(runner_report))
     print(f"[results written to {RUNNER_RESULT_PATH}]")
+    coordinator_report = run_coordinator_benchmark()
+    print(_format_coordinator_report(coordinator_report))
+    print(f"[results written to {COORDINATOR_RESULT_PATH}]")
     return 0
 
 

@@ -15,9 +15,16 @@ Usage::
     python -m repro.bench.cli figure1 --scale smoke --steps --shard 1/2 --out s1.json
     python -m repro.bench.cli merge s0.json s1.json
 
+    # Dynamic scheduling: a coordinator work directory served by local
+    # and/or remote workers, with a shared task-result cache:
+    python -m repro.bench.cli coordinate figure1 --scale smoke --steps \\
+        --dir workdir --workers 2 --cache-dir ~/.repro-cache
+    python -m repro.bench.cli work --dir workdir   # on any other machine
+
 Prints the same text report as the pytest benchmark targets; useful when
 iterating on one figure without the pytest-benchmark machinery.  With
-``--steps``, a two-shard ``merge`` is bit-identical to the sequential run.
+``--steps``, a two-shard ``merge`` — and a ``coordinate`` run with any
+number of workers — is bit-identical to the sequential run.
 """
 
 from __future__ import annotations
@@ -25,6 +32,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence, Tuple
 
 from repro.bench import figures
@@ -33,8 +43,8 @@ from repro.bench.reporting import (
     format_task_provenance,
     summarize_winners,
 )
-from repro.bench.runner import merge_shards, run_scenario
-from repro.bench.scenario import ScenarioScale
+from repro.bench.runner import ScenarioResult, merge_shards, reduce_task_results, run_scenario
+from repro.bench.scenario import ScenarioScale, ScenarioSpec
 from repro.bench.statistics import run_figure3_statistics
 from repro.bench.tasks import run_shard, write_shard
 
@@ -76,11 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--granularity",
-        choices=["cell", "case"],
+        choices=["cell", "case", "auto"],
         default=None,
         help=(
-            "unit of work dispatched to workers: whole grid cells (default) "
-            "or individual (cell, case, algorithm) leaf tasks"
+            "unit of work dispatched to workers: whole grid cells, individual "
+            "(cell, case, algorithm) leaf tasks, or 'auto' (the default) "
+            "which picks per scenario from the task-count/worker ratio"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["local", "coordinator"],
+        default=None,
+        help=(
+            "execution backend: 'local' (static schedule, the default) or "
+            "'coordinator' (dynamic lease-based scheduling with "
+            "fault-tolerant workers); results are identical on --steps runs"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=(
+            "task-result cache directory: deterministic leaf results "
+            "(notably DP reference frontiers) are reused across runs and "
+            "figure variants"
         ),
     )
     parser.add_argument(
@@ -125,6 +156,196 @@ def build_merge_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_coordinate_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``coordinate`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli coordinate",
+        description=(
+            "Set up a coordinator work directory for one figure, serve it "
+            "with local workers, wait for full coverage (local and/or "
+            "remote 'work' processes), and print the scenario report."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(figures.FIGURE_SPECS),
+        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha)",
+    )
+    parser.add_argument("--dir", required=True, help="shared work directory")
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ScenarioScale],
+        default=ScenarioScale.DEFAULT.value,
+        help="experiment scale",
+    )
+    parser.add_argument(
+        "--steps", action="store_true", help="run the step-driven figure variant"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario base seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "local worker threads to serve the directory (0 = none, wait "
+            "for external 'work' processes only)"
+        ),
+    )
+    parser.add_argument(
+        "--granularity",
+        choices=["cell", "case", "auto"],
+        default=None,
+        help="lease size: whole cells, single leaves, or 'auto' (default)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, help="task-result cache directory"
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=300.0,
+        help="seconds before an uncompleted lease is reassigned",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up after this many seconds without full coverage",
+    )
+    return parser
+
+
+def build_work_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``work`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli work",
+        description=(
+            "Pull and execute task batches from a coordinator work "
+            "directory until it is drained (runs on any machine that can "
+            "reach the directory)."
+        ),
+    )
+    parser.add_argument("--dir", required=True, help="shared work directory")
+    parser.add_argument(
+        "--worker-id", type=str, default=None, help="worker identifier (default: auto)"
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        help="seconds between queue scans when no batch is claimable",
+    )
+    parser.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop after executing this many batches",
+    )
+    return parser
+
+
+def _resolve_figure_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Build the scenario spec selected by figure/scale/steps/seed flags."""
+    spec_map = figures.STEP_FIGURE_SPECS if args.steps else figures.FIGURE_SPECS
+    spec = spec_map[args.figure](ScenarioScale(args.scale))
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    return spec
+
+
+def _run_coordinate(argv: Sequence[str]) -> str:
+    from repro.dist.cache import TaskCache
+    from repro.dist.protocol import collect_results, init_workdir, run_worker
+
+    args = build_coordinate_parser().parse_args(argv)
+    if args.workers < 0:
+        raise SystemExit("--workers must be at least 0")
+    spec = _resolve_figure_spec(args)
+    cache = TaskCache(args.cache_dir) if args.cache_dir else None
+    meta = init_workdir(
+        args.dir,
+        spec,
+        workers_hint=max(1, args.workers),
+        granularity=args.granularity,
+        lease_timeout=args.lease_timeout,
+        cache=cache,
+    )
+    # Local workers are lease-pulling threads executing on a shared process
+    # pool (threads alone would serialize the pure-Python leaves on the
+    # GIL).  The stop event ends them at the next batch boundary when the
+    # collector gives up, so a timeout reaches the user promptly.
+    stop = threading.Event()
+    pool = (
+        ProcessPoolExecutor(max_workers=args.workers) if args.workers > 1 else None
+    )
+    worker_errors: list = []
+
+    def worker_main(index: int) -> None:
+        try:
+            run_worker(
+                args.dir, worker_id=f"local-{index}", stop=stop, executor=pool
+            )
+        except BaseException as exc:  # surfaced by the collection loop below
+            worker_errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker_main, args=(index,), daemon=True)
+        for index in range(args.workers)
+    ]
+    for thread in threads:
+        thread.start()
+    # Collect in short slices so dead local workers are noticed instead of
+    # polling an unservable directory forever (--timeout defaults to None).
+    deadline = None if args.timeout is None else time.monotonic() + args.timeout
+    try:
+        while True:
+            slice_timeout = 5.0
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"{args.dir}: timed out waiting for full coverage"
+                    )
+                slice_timeout = min(slice_timeout, remaining)
+            try:
+                _, results = collect_results(
+                    args.dir, timeout=slice_timeout, cache=cache
+                )
+                break
+            except TimeoutError:
+                if threads and worker_errors and not any(
+                    thread.is_alive() for thread in threads
+                ):
+                    raise worker_errors[0]
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        if pool is not None:
+            pool.shutdown()
+    result = ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
+    header = (
+        f"[coordinator: {meta['batches']} batch(es) at {meta['granularity']} "
+        f"granularity, {meta['cached_tasks']} task(s) served from cache]\n"
+    )
+    return header + format_scenario_report(result) + "\n" + summarize_winners(result)
+
+
+def _run_work(argv: Sequence[str]) -> str:
+    from repro.dist.protocol import run_worker
+
+    args = build_work_parser().parse_args(argv)
+    executed = run_worker(
+        args.dir,
+        worker_id=args.worker_id,
+        poll=args.poll,
+        max_batches=args.max_batches,
+    )
+    return f"[worker done: executed {executed} batch(es) from {args.dir}]"
+
+
 def _parse_shard(value: str) -> Tuple[int, int]:
     """Parse a ``K/N`` shard designator."""
     try:
@@ -144,6 +365,10 @@ def run(argv: Sequence[str] | None = None) -> str:
         merge_args = build_merge_parser().parse_args(argv[1:])
         result = merge_shards(merge_args.shards)
         return format_scenario_report(result) + "\n" + summarize_winners(result)
+    if argv and argv[0] == "coordinate":
+        return _run_coordinate(argv[1:])
+    if argv and argv[0] == "work":
+        return _run_work(argv[1:])
 
     args = build_parser().parse_args(argv)
     scale = ScenarioScale(args.scale)
@@ -168,16 +393,30 @@ def run(argv: Sequence[str] | None = None) -> str:
             kwargs["seed"] = args.seed
         return run_figure3_statistics(**kwargs).format_report()
 
-    spec_map = figures.STEP_FIGURE_SPECS if args.steps else figures.FIGURE_SPECS
-    spec = spec_map[args.figure](scale)
-    if args.seed is not None:
-        spec = dataclasses.replace(spec, seed=args.seed)
+    spec = _resolve_figure_spec(args)
     if args.workers is not None:
         spec = dataclasses.replace(spec, workers=args.workers)
     if args.granularity is not None:
         spec = dataclasses.replace(spec, granularity=args.granularity)
+    if args.backend is not None:
+        spec = dataclasses.replace(spec, backend=args.backend)
+    cache = None
+    if args.cache_dir is not None:
+        from repro.dist.cache import TaskCache
+
+        cache = TaskCache(args.cache_dir)
 
     if args.shard is not None:
+        # Shard runs execute a static subset on the local path; the dynamic
+        # backend and the task cache are not wired through them, so refuse
+        # the combinations instead of silently ignoring the flags.
+        if args.backend == "coordinator":
+            raise SystemExit(
+                "--shard executes statically; use 'coordinate' for dynamic "
+                "scheduling instead of --backend coordinator"
+            )
+        if args.cache_dir is not None:
+            raise SystemExit("--cache-dir is not supported with --shard")
         index, count = _parse_shard(args.shard)
         results = run_shard(
             spec, index, count, workers=spec.workers, granularity=spec.granularity
@@ -190,7 +429,7 @@ def run(argv: Sequence[str] | None = None) -> str:
             + f"written to {out_path}]"
         )
 
-    result = run_scenario(spec)
+    result = run_scenario(spec, cache=cache)
     return format_scenario_report(result) + "\n" + summarize_winners(result)
 
 

@@ -13,8 +13,10 @@ Execution is organized as an explicit task graph (:mod:`repro.bench.tasks`):
 * :func:`repro.bench.tasks.schedule_tasks` expands the spec into
   ``(cell, case, algorithm)`` leaf tasks (plus per-case reference tasks);
 * :func:`repro.bench.tasks.execute_tasks` runs them — sequentially, on a
-  ``ProcessPoolExecutor`` at ``cell`` or ``case`` granularity, or as a
-  ``--shard k/n`` subset serialized to JSON;
+  ``ProcessPoolExecutor`` at ``cell``/``case``/``auto`` granularity, as a
+  ``--shard k/n`` subset serialized to JSON, or dynamically through the
+  lease-based coordinator of :mod:`repro.dist`
+  (``run_scenario(backend="coordinator")``);
 * :func:`reduce_task_results` folds the leaf results into per-cell medians.
 
 Leaf tasks are pure (all randomness is derived from the scenario seed and
@@ -29,7 +31,7 @@ from __future__ import annotations
 
 import statistics as stats
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.bench.anytime import CheckpointRecord
 from repro.bench.reference import union_reference_frontier
@@ -43,7 +45,11 @@ from repro.bench.tasks import (
     load_shards,
     reference_alpha,
     schedule_tasks,
+    task_is_deterministic,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.dist.cache import TaskCache
 from repro.pareto.epsilon import approximation_error
 from repro.query.join_graph import GraphShape
 
@@ -121,6 +127,8 @@ def run_scenario(
     spec: ScenarioSpec,
     workers: int | None = None,
     granularity: str | None = None,
+    backend: str | None = None,
+    cache: "TaskCache | None" = None,
 ) -> ScenarioResult:
     """Run a full scenario and return aggregated per-cell medians.
 
@@ -135,20 +143,57 @@ def run_scenario(
     granularity:
         Overrides ``spec.granularity`` when given: ``"cell"`` dispatches
         whole grid cells to workers, ``"case"`` dispatches every
-        (cell, case, algorithm) leaf individually.
+        (cell, case, algorithm) leaf individually, ``"auto"`` (the
+        default) picks per scenario from the task-count/worker ratio.
+    backend:
+        Overrides ``spec.backend`` when given.  ``"local"`` schedules
+        statically (pool or sequential); ``"coordinator"`` executes the
+        same schedule through the dynamic lease-based coordinator of
+        :mod:`repro.dist` (fault-tolerant, cache-aware).
+    cache:
+        Optional :class:`repro.dist.cache.TaskCache`.  Deterministic leaf
+        results are served from / written back to it under either backend;
+        non-deterministic leaves always execute.
 
     Cell order in the result is the grid order in every mode, and with
     step-based checkpoints the results are bit-identical for every worker
-    count and granularity.
+    count, granularity, backend, and cache state.
     """
     effective_workers = spec.workers if workers is None else workers
     effective_granularity = spec.granularity if granularity is None else granularity
+    effective_backend = spec.backend if backend is None else backend
     if effective_workers < 1:
         raise ValueError("workers must be at least 1")
+    if effective_backend not in ("local", "coordinator"):
+        raise ValueError(
+            f"backend must be 'local' or 'coordinator', got {effective_backend!r}"
+        )
+    if effective_backend == "coordinator":
+        from repro.dist.worker import run_coordinated
+
+        coordinator = run_coordinated(
+            spec,
+            workers=effective_workers,
+            granularity=effective_granularity,
+            cache=cache,
+        )
+        results = coordinator.results()
+        return ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
     tasks = schedule_tasks(spec)
-    results = execute_tasks(
-        spec, tasks, workers=effective_workers, granularity=effective_granularity
-    )
+    if cache is None:
+        results = execute_tasks(
+            spec, tasks, workers=effective_workers, granularity=effective_granularity
+        )
+    else:
+        cached, pending = cache.partition(spec, tasks)
+        executed = execute_tasks(
+            spec, pending, workers=effective_workers, granularity=effective_granularity
+        )
+        for result in executed:
+            if task_is_deterministic(spec, result.task):
+                cache.put(spec, result)
+            cached[result.task] = result
+        results = [cached[task] for task in tasks]
     return ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
 
 

@@ -91,7 +91,18 @@ class ScenarioSpec:
         tasks of one (shape, size) grid cell together (cheap IPC, the
         pre-task-graph behavior), ``"case"`` submits every
         (cell, case, algorithm) leaf task individually (parallelism within a
-        cell, for scenarios with few cells).  Ignored when ``workers == 1``.
+        cell, for scenarios with few cells).  The default ``"auto"`` picks
+        between the two from the task-count/worker ratio
+        (:func:`repro.bench.tasks.resolve_granularity`) — a pure function of
+        the schedule and worker count, so results stay deterministic.
+        Ignored when ``workers == 1``.
+    backend:
+        Execution backend of :func:`repro.bench.runner.run_scenario`:
+        ``"local"`` (the default) schedules statically onto an in-process
+        pool; ``"coordinator"`` executes the schedule through the dynamic
+        lease-based coordinator of :mod:`repro.dist` (fault-tolerant
+        workers, task-result caching).  Both produce bit-identical results
+        on step-driven specs.
     """
 
     name: str
@@ -114,7 +125,8 @@ class ScenarioSpec:
     extra: Tuple[Tuple[str, str], ...] = field(default=())
     workers: int = 1
     step_checkpoints: Tuple[int, ...] | None = None
-    granularity: str = "cell"
+    granularity: str = "auto"
+    backend: str = "local"
 
     def __post_init__(self) -> None:
         if not self.graph_shapes:
@@ -150,9 +162,14 @@ class ScenarioSpec:
                 raise ValueError("step checkpoints must be positive step counts")
             if tuple(sorted(self.step_checkpoints)) != tuple(self.step_checkpoints):
                 raise ValueError("step checkpoints must be sorted ascending")
-        if self.granularity not in ("cell", "case"):
+        if self.granularity not in ("cell", "case", "auto"):
             raise ValueError(
-                f"granularity must be 'cell' or 'case', got {self.granularity!r}"
+                f"granularity must be 'cell', 'case', or 'auto', "
+                f"got {self.granularity!r}"
+            )
+        if self.backend not in ("local", "coordinator"):
+            raise ValueError(
+                f"backend must be 'local' or 'coordinator', got {self.backend!r}"
             )
 
     # ------------------------------------------------------------ utilities
@@ -217,6 +234,7 @@ class ScenarioSpec:
                 None if self.step_checkpoints is None else list(self.step_checkpoints)
             ),
             "granularity": self.granularity,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -248,4 +266,5 @@ class ScenarioSpec:
                 else tuple(data["step_checkpoints"])
             ),
             granularity=data.get("granularity", "cell"),
+            backend=data.get("backend", "local"),
         )

@@ -58,6 +58,7 @@ every frontier snapshot is a pure function of ``(spec, task)``.)
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 from concurrent.futures import ProcessPoolExecutor
@@ -79,12 +80,26 @@ from repro.query.query import Query
 from repro.utils.rng import derive_rng
 from repro.utils.timer import Stopwatch
 
-#: Version tag of the shard file format.
-SHARD_FORMAT = "repro-shard-v1"
+#: Version tag of the shard file format (v2 added the spec provenance hash).
+SHARD_FORMAT = "repro-shard-v2"
+
+#: Version tag of the provenance-hash key derivation.  Bump whenever task
+#: execution semantics change in a result-affecting way — every cached or
+#: memoized result keyed under the old tag then misses instead of serving a
+#: stale frontier.
+PROVENANCE_KEY_FORMAT = "repro-task-key-v1"
 
 #: Task roles: an algorithm evaluation leaf, or a reference-frontier leaf.
 ROLE_ALGORITHM = "algorithm"
 ROLE_REFERENCE = "reference"
+
+#: Granularity names accepted by :func:`execute_tasks` and the scenario spec.
+GRANULARITIES = ("cell", "case", "auto")
+
+#: ``auto`` granularity dispatches whole cells when there are at least this
+#: many cell groups per worker (enough groups to keep every worker busy
+#: despite uneven cell costs); below that it falls back to per-leaf dispatch.
+AUTO_CELL_GROUPS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -198,6 +213,84 @@ class TaskResult:
 
 
 # ---------------------------------------------------------------------------
+# Provenance hashes
+# ---------------------------------------------------------------------------
+def _canonical_json(payload: dict) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace (stable across runs)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def spec_provenance_hash(spec: ScenarioSpec) -> str:
+    """Content hash of a full scenario spec (hex SHA-256).
+
+    Shard files and coordinator work directories record this hash so that
+    results can never be silently merged across different scenarios — even
+    when a file's embedded spec was hand-edited after the run.
+    """
+    payload = {"format": PROVENANCE_KEY_FORMAT, "spec": spec.to_json_dict()}
+    return hashlib.sha256(_canonical_json(payload)).hexdigest()
+
+
+def _execution_fields(spec: ScenarioSpec, role: str) -> dict:
+    """The spec fields that influence :func:`execute_task` for one role.
+
+    Deliberately *excludes* everything that cannot change a leaf's result —
+    name, description, the grid, the algorithm list, worker/granularity
+    knobs — so a DP-reference leaf computed for one figure variant hashes
+    identically under every variant that shares its test cases.
+    """
+    fields = {
+        "seed": spec.seed,
+        "selectivity_model": str(spec.selectivity_model),
+        "num_metrics": spec.num_metrics,
+        "metric_pool": list(spec.metric_pool),
+    }
+    if role == ROLE_REFERENCE:
+        fields["reference_time_budget"] = spec.reference_time_budget
+    else:
+        fields["step_checkpoints"] = (
+            None if spec.step_checkpoints is None else list(spec.step_checkpoints)
+        )
+        fields["checkpoints"] = list(spec.checkpoints)
+        fields["time_budget"] = spec.time_budget
+        fields["nsga_population"] = spec.nsga_population
+        fields["scale"] = str(spec.scale)
+    return fields
+
+
+def task_provenance_hash(spec: ScenarioSpec, task: TaskSpec) -> str:
+    """Content hash of one leaf task's full execution provenance (hex SHA-256).
+
+    Two (spec, task) pairs hash equally exactly when :func:`execute_task`
+    is guaranteed to produce the same frontiers for both — the key of the
+    task-result cache and of the in-process reference memo.
+    """
+    payload = {
+        "format": PROVENANCE_KEY_FORMAT,
+        "task": task.to_json_dict(),
+        "spec": _execution_fields(spec, task.role),
+    }
+    return hashlib.sha256(_canonical_json(payload)).hexdigest()
+
+
+def task_is_deterministic(spec: ScenarioSpec, task: TaskSpec) -> bool:
+    """Is this leaf's result a pure function of ``(spec, task)``?
+
+    "Result" means every frontier snapshot and step count — the quantities
+    the reduce consumes; the wall-clock seconds in the provenance trace
+    always vary between runs.  Algorithm leaves are deterministic when the
+    scenario is step-driven
+    (wall-clock budgets make the iteration count load-dependent); reference
+    leaves when the DP scheme runs to completion (no wall-clock cutoff).
+    Only deterministic leaves may be cached or memoized — everything else
+    must be recomputed every run.
+    """
+    if task.role == ROLE_REFERENCE:
+        return spec.reference_time_budget is None
+    return spec.step_checkpoints is not None
+
+
+# ---------------------------------------------------------------------------
 # Schedule
 # ---------------------------------------------------------------------------
 def schedule_tasks(spec: ScenarioSpec) -> List[TaskSpec]:
@@ -248,9 +341,55 @@ def shard_tasks(tasks: Sequence[TaskSpec], index: int, count: int) -> List[TaskS
     return [task for position, task in enumerate(tasks) if position % count == index]
 
 
+def resolve_granularity(
+    granularity: str, tasks: Sequence[TaskSpec], workers: int
+) -> str:
+    """Resolve ``"auto"`` granularity to ``"cell"`` or ``"case"``.
+
+    A pure function of (task list, worker count), so every execution mode —
+    pool, shard, coordinator — resolves identically and determinism is
+    preserved.  ``auto`` dispatches whole cells while there are at least
+    :data:`AUTO_CELL_GROUPS_PER_WORKER` cell groups per worker (cheap IPC,
+    and enough groups that one expensive cell cannot stall the run); with
+    fewer groups it switches to per-leaf dispatch so within-cell parallelism
+    keeps all workers busy.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
+        )
+    if granularity != "auto":
+        return granularity
+    if workers <= 1:
+        return "cell"
+    num_groups = len(_group_by_cell(tasks))
+    if num_groups >= AUTO_CELL_GROUPS_PER_WORKER * workers:
+        return "cell"
+    return "case"
+
+
 # ---------------------------------------------------------------------------
 # Execute
 # ---------------------------------------------------------------------------
+#: Process-local memo of deterministic reference-leaf results, keyed by
+#: provenance hash.  DP(1.01) reference frontiers are by far the most
+#: recomputed leaves — every figure variant of the same test cases rebuilds
+#: them — and they are tiny, so an unbounded per-process map is safe.
+_REFERENCE_MEMO: Dict[str, TaskResult] = {}
+
+
+def clear_reference_memo() -> int:
+    """Drop the process-local reference memo; returns the entry count."""
+    size = len(_REFERENCE_MEMO)
+    _REFERENCE_MEMO.clear()
+    return size
+
+
+def reference_memo_size() -> int:
+    """Number of memoized reference-leaf results in this process."""
+    return len(_REFERENCE_MEMO)
+
+
 def build_test_case(
     spec: ScenarioSpec, shape: GraphShape, num_tables: int, case_index: int
 ) -> MultiObjectiveCostModel:
@@ -312,9 +451,17 @@ def execute_task(
     test case (same (cell, case) coordinates); the construction is pure, so
     sharing the instance across the case's leaves cannot change results.
     """
-    if cost_model is None:
-        cost_model = build_test_case(spec, task.shape, task.num_tables, task.case_index)
     if task.role == ROLE_REFERENCE:
+        memo_key: str | None = None
+        if task_is_deterministic(spec, task):
+            memo_key = task_provenance_hash(spec, task)
+            memoized = _REFERENCE_MEMO.get(memo_key)
+            if memoized is not None:
+                return memoized
+        if cost_model is None:
+            cost_model = build_test_case(
+                spec, task.shape, task.num_tables, task.case_index
+            )
         watch = Stopwatch()
         frontier = dp_reference_frontier(
             cost_model,
@@ -327,7 +474,12 @@ def execute_task(
             steps=0,
             frontier_costs=tuple(tuple(cost) for cost in frontier),
         )
-        return TaskResult(task=task, records=(record,))
+        result = TaskResult(task=task, records=(record,))
+        if memo_key is not None:
+            _REFERENCE_MEMO[memo_key] = result
+        return result
+    if cost_model is None:
+        cost_model = build_test_case(spec, task.shape, task.num_tables, task.case_index)
     rng = derive_rng(
         spec.seed, "algo", task.algorithm, str(task.shape), task.num_tables, task.case_index
     )
@@ -378,14 +530,15 @@ def execute_tasks(
     ``workers == 1`` runs strictly sequentially in-process.  ``workers > 1``
     dispatches to a ``ProcessPoolExecutor``: whole cells at ``"cell"``
     granularity (cheap IPC), individual leaf tasks at ``"case"`` granularity
-    (within-cell parallelism for scenarios with few cells).  Because leaves
-    are pure, every mode returns the same results — bit-identical whenever
-    ``step_checkpoints`` removes wall-clock sensitivity.
+    (within-cell parallelism for scenarios with few cells); ``"auto"``
+    picks between the two from the task-count/worker ratio
+    (:func:`resolve_granularity`).  Because leaves are pure, every mode
+    returns the same results — bit-identical whenever ``step_checkpoints``
+    removes wall-clock sensitivity.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
-    if granularity not in ("cell", "case"):
-        raise ValueError(f"granularity must be 'cell' or 'case', got {granularity!r}")
+    granularity = resolve_granularity(granularity, tasks, workers)
     if workers == 1 or len(tasks) <= 1:
         return _execute_task_group(spec, tasks)
     if granularity == "cell":
@@ -420,10 +573,16 @@ def write_shard(
     count: int,
     results: Sequence[TaskResult],
 ) -> None:
-    """Serialize one shard's task results to a JSON file."""
+    """Serialize one shard's task results to a JSON file.
+
+    The payload records the spec's provenance hash next to the serialized
+    spec; :func:`load_shards` recomputes and compares it, so a shard whose
+    embedded spec was edited after the run can never be merged.
+    """
     payload = {
         "format": SHARD_FORMAT,
         "spec": spec.to_json_dict(),
+        "spec_hash": spec_provenance_hash(spec),
         "shard": {"index": index, "count": count},
         "results": [result.to_json_dict() for result in results],
     }
@@ -435,16 +594,19 @@ def write_shard(
 def load_shards(paths: Sequence[str]) -> Tuple[ScenarioSpec, List[TaskResult]]:
     """Load shard files and reassemble the complete, ordered result list.
 
-    Validates that every file uses the shard format, that all shards
+    Validates that every file uses the shard format, that each file's
+    recorded spec provenance hash matches its embedded spec (a mismatch
+    means the file was edited or corrupted after the run), that all shards
     describe the same scenario and shard count, that the shard indices
     cover ``0..count-1`` exactly once, and that the union of results covers
     the scenario's schedule exactly — so a merge can never silently reduce
-    a partial run.
+    a partial or foreign run.
     """
     if not paths:
         raise ValueError("need at least one shard file")
     spec: ScenarioSpec | None = None
     spec_dict: dict | None = None
+    spec_hash: str | None = None
     count: int | None = None
     seen_indices: List[int] = []
     results: List[TaskResult] = []
@@ -453,12 +615,22 @@ def load_shards(paths: Sequence[str]) -> Tuple[ScenarioSpec, List[TaskResult]]:
             payload = json.load(handle)
         if payload.get("format") != SHARD_FORMAT:
             raise ValueError(f"{path}: not a {SHARD_FORMAT} shard file")
+        recorded_hash = payload.get("spec_hash")
+        if recorded_hash is None:
+            raise ValueError(f"{path}: shard file carries no spec provenance hash")
+        file_spec = ScenarioSpec.from_json_dict(payload["spec"])
+        if recorded_hash != spec_provenance_hash(file_spec):
+            raise ValueError(
+                f"{path}: spec provenance hash mismatch — the embedded spec "
+                "does not match the spec the shard was produced from"
+            )
         if spec is None:
             spec_dict = payload["spec"]
-            spec = ScenarioSpec.from_json_dict(spec_dict)
+            spec = file_spec
+            spec_hash = recorded_hash
             count = payload["shard"]["count"]
         else:
-            if payload["spec"] != spec_dict:
+            if recorded_hash != spec_hash or payload["spec"] != spec_dict:
                 raise ValueError(f"{path}: scenario spec differs from {paths[0]}")
             if payload["shard"]["count"] != count:
                 raise ValueError(f"{path}: shard count differs from {paths[0]}")

@@ -1,0 +1,42 @@
+"""Distributed execution of the benchmark task graph.
+
+The static execution modes of :mod:`repro.bench.tasks` — a process pool or
+``--shard k/n`` round-robin — assign work up front, so one slow or dead
+machine stalls the whole figure.  This package executes the *same* schedule
+dynamically instead:
+
+* :class:`~repro.dist.coordinator.Coordinator` holds the pending task queue
+  and hands out time-limited **leases**; expired leases are reassigned, late
+  or duplicate completions are reconciled (leaves are pure, so at-least-once
+  execution still yields exactly-once results);
+* :mod:`~repro.dist.worker` drives local workers — threads pulling leases
+  and executing on a shared process pool;
+* :mod:`~repro.dist.protocol` is the file-based variant of the same lease
+  lifecycle over a shared directory, so workers on other machines can pull
+  work with nothing but filesystem access;
+* :class:`~repro.dist.cache.TaskCache` is a content-addressed store of leaf
+  results keyed by provenance hash
+  (:func:`repro.bench.tasks.task_provenance_hash`), so deterministic leaves
+  — above all the DP(1.01) reference frontiers — are computed once and
+  reused across figure variants and re-runs.
+
+On step-driven specs every mode is bit-identical to a sequential
+:func:`repro.bench.runner.run_scenario` (pinned by ``tests/test_dist.py``).
+"""
+
+from repro.dist.cache import TaskCache
+from repro.dist.coordinator import Coordinator, Lease, LeaseValidationError
+from repro.dist.protocol import collect_results, init_workdir, run_worker
+from repro.dist.worker import Worker, run_coordinated
+
+__all__ = [
+    "Coordinator",
+    "Lease",
+    "LeaseValidationError",
+    "TaskCache",
+    "Worker",
+    "run_coordinated",
+    "init_workdir",
+    "run_worker",
+    "collect_results",
+]

@@ -1,0 +1,183 @@
+"""Content-addressed cache of leaf-task results.
+
+A :class:`TaskCache` stores one :class:`~repro.bench.tasks.TaskResult` per
+**provenance hash** — the SHA-256 of everything that determines a leaf's
+frontiers (:func:`repro.bench.tasks.task_provenance_hash`).  Because the
+hash excludes spec fields that cannot affect the leaf (figure name, grid,
+algorithm list, worker knobs), a DP(1.01) reference frontier computed for
+one figure variant is a cache hit for every variant sharing its test cases,
+and a re-run of the same figure executes zero reference leaves.
+
+Only *deterministic* leaves may enter the cache
+(:func:`repro.bench.tasks.task_is_deterministic`): a wall-clock-budgeted
+leaf's frontier depends on machine load, so serving it from cache would
+change results.  :meth:`TaskCache.put` enforces this.
+
+Entries live under ``<root>/<hh>/<hash>.json`` (two-level fan-out keeps
+directories small).  Writes are atomic (temp file + ``os.replace``), so
+concurrent workers sharing a cache directory can only ever observe complete
+entries; corrupted or foreign files are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.scenario import ScenarioSpec
+from repro.bench.tasks import (
+    TaskResult,
+    TaskSpec,
+    task_is_deterministic,
+    task_provenance_hash,
+)
+
+#: Version tag of the cache entry file format.
+CACHE_ENTRY_FORMAT = "repro-task-cache-v1"
+
+
+def write_json_atomic(path: str, payload: dict) -> None:
+    """Write a JSON file atomically (temp file + ``os.replace``).
+
+    Readers — including ones on other machines watching a shared
+    directory — only ever observe the complete file.  Used by the cache
+    and by every file of the coordinator's directory protocol.
+    """
+    directory = os.path.dirname(path)
+    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+class TaskCache:
+    """Filesystem-backed, content-addressed store of leaf-task results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).  Safe to share between
+        concurrent workers and successive runs; entries are immutable.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._root = os.fspath(root)
+        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "stores": 0}
+
+    @property
+    def root(self) -> str:
+        """The cache directory."""
+        return self._root
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters of this cache instance (a copy)."""
+        return dict(self._stats)
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self._root, key[:2], f"{key}.json")
+
+    def get(self, spec: ScenarioSpec, task: TaskSpec) -> Optional[TaskResult]:
+        """The cached result of a leaf, or ``None``.
+
+        Non-deterministic leaves always miss (they must be recomputed), as
+        do missing, unreadable, or foreign entries — a corrupt cache can
+        degrade throughput, never correctness.
+        """
+        if not task_is_deterministic(spec, task):
+            self._stats["misses"] += 1
+            return None
+        key = task_provenance_hash(spec, task)
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("format") != CACHE_ENTRY_FORMAT or payload.get("key") != key:
+                raise ValueError("foreign or stale cache entry")
+            result = TaskResult.from_json_dict(payload["result"])
+            if result.task != task:
+                raise ValueError("cache entry stores a different task")
+        except (OSError, ValueError, KeyError, TypeError):
+            self._stats["misses"] += 1
+            return None
+        self._stats["hits"] += 1
+        return result
+
+    def partition(
+        self, spec: ScenarioSpec, tasks: "Sequence[TaskSpec]"
+    ) -> "Tuple[Dict[TaskSpec, TaskResult], List[TaskSpec]]":
+        """Split a task list into cache hits and still-pending tasks.
+
+        The single prefill step every backend runs before executing
+        anything: hits never enter a queue, pool, or work directory.
+        """
+        hits: Dict[TaskSpec, TaskResult] = {}
+        pending: List[TaskSpec] = []
+        for task in tasks:
+            cached = self.get(spec, task)
+            if cached is not None:
+                hits[task] = cached
+            else:
+                pending.append(task)
+        return hits, pending
+
+    def put(self, spec: ScenarioSpec, result: TaskResult) -> str:
+        """Store one leaf result; returns the entry's provenance hash.
+
+        Raises ``ValueError`` for non-deterministic leaves — caching a
+        load-dependent result would poison every later run.
+        """
+        if not task_is_deterministic(spec, result.task):
+            raise ValueError(
+                f"refusing to cache non-deterministic task {result.task.task_id!r} "
+                "(wall-clock-budgeted results depend on machine load)"
+            )
+        key = task_provenance_hash(spec, result.task)
+        path = self._entry_path(key)
+        try:
+            # Entries are content-addressed and immutable: when a valid
+            # entry already exists, skip the redundant write (re-collected
+            # work directories re-put every result).  A corrupt existing
+            # entry falls through and is rewritten.
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if existing.get("format") == CACHE_ENTRY_FORMAT and existing.get("key") == key:
+                return key
+        except (OSError, ValueError):
+            pass
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        write_json_atomic(
+            path,
+            {
+                "format": CACHE_ENTRY_FORMAT,
+                "key": key,
+                "task_id": result.task.task_id,
+                "result": result.to_json_dict(),
+            },
+        )
+        self._stats["stores"] += 1
+        return key
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        count = 0
+        if not os.path.isdir(self._root):
+            return 0
+        for shard in os.listdir(self._root):
+            shard_dir = os.path.join(self._root, shard)
+            if os.path.isdir(shard_dir):
+                count += sum(
+                    1
+                    for name in os.listdir(shard_dir)
+                    if name.endswith(".json") and not name.startswith(".tmp-")
+                )
+        return count

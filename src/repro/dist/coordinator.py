@@ -1,0 +1,336 @@
+"""The coordinator: dynamic, fault-tolerant scheduling of the task graph.
+
+A :class:`Coordinator` owns one scenario's pending leaf tasks and hands
+them out as time-limited **leases** (one lease = one group of tasks under
+the resolved granularity — whole cells or single leaves, chosen by the
+adaptive policy of :func:`repro.bench.tasks.resolve_granularity`).  The
+lease lifecycle is the whole fault-tolerance story:
+
+``pending --request_lease--> leased --complete_lease--> done``
+
+* a lease that is not completed before its deadline is **reclaimed**: the
+  group returns to the front of the queue and the next requesting worker
+  re-executes it (a dead worker therefore delays its lease by at most the
+  lease timeout);
+* a **late** completion of a reclaimed lease is accepted if the group has
+  not been completed by someone else yet — leaves are pure, so whichever
+  copy arrives first is *the* result;
+* a **duplicate** completion (the group is already done) is ignored;
+* a **corrupt** completion (results that do not cover the lease's tasks
+  exactly) is rejected with :class:`LeaseValidationError` and the group is
+  requeued, so a malfunctioning worker cannot poison the run.
+
+Because execution is at-least-once over pure leaves and the reduce
+(:func:`repro.bench.runner.reduce_task_results`) is order-insensitive, the
+scenario result is bit-identical to a sequential run on step-driven specs
+no matter how many leases expire, duplicate, or arrive late.
+
+A :class:`~repro.dist.cache.TaskCache` may be attached: cache hits are
+resolved at construction time and never enter the queue — a warm cache
+re-run of a figure variant leases zero DP-reference leaves.
+
+All public methods are thread-safe; the clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.scenario import ScenarioSpec
+from repro.bench.tasks import (
+    TaskResult,
+    TaskSpec,
+    _group_by_cell,
+    resolve_granularity,
+    schedule_tasks,
+    task_is_deterministic,
+)
+from repro.dist.cache import TaskCache
+
+#: Default lease lifetime in seconds.  Generous — reassignment exists to
+#: survive dead workers, not to race slow ones; a reclaimed-but-alive
+#: worker's late result is still accepted.
+DEFAULT_LEASE_TIMEOUT = 300.0
+
+
+class LeaseValidationError(ValueError):
+    """A completion did not match its lease (unknown id or wrong tasks)."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease: a task group, its holder, and its deadline."""
+
+    lease_id: str
+    worker_id: str
+    tasks: Tuple[TaskSpec, ...]
+    deadline: float
+    attempt: int
+
+
+class _Group:
+    """Internal scheduling unit: one lease-sized group of tasks."""
+
+    __slots__ = ("group_id", "tasks", "state", "attempts", "current_lease_id")
+
+    def __init__(self, group_id: int, tasks: Tuple[TaskSpec, ...]) -> None:
+        self.group_id = group_id
+        self.tasks = tasks
+        self.state = "pending"  # "pending" | "leased" | "done"
+        self.attempts = 0
+        self.current_lease_id: Optional[str] = None
+
+
+class Coordinator:
+    """Dynamic scheduler of one scenario's task graph.
+
+    Parameters
+    ----------
+    spec:
+        The scenario whose schedule is executed.
+    tasks:
+        Optional explicit task list (defaults to the full schedule);
+        results are returned in this order.
+    workers_hint:
+        Expected worker count — input to the adaptive lease-sizing policy
+        (it does not limit how many workers may actually connect).
+    granularity:
+        Lease size: ``"cell"``, ``"case"``, or ``"auto"`` (default: the
+        spec's granularity).
+    cache:
+        Optional :class:`TaskCache`; hits skip the queue entirely and
+        newly computed deterministic results are written back.
+    lease_timeout:
+        Seconds before an uncompleted lease is reclaimed.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        tasks: Optional[Sequence[TaskSpec]] = None,
+        workers_hint: int = 1,
+        granularity: Optional[str] = None,
+        cache: Optional[TaskCache] = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers_hint < 1:
+            raise ValueError("workers_hint must be at least 1")
+        if lease_timeout <= 0:
+            raise ValueError("lease timeout must be positive")
+        self._spec = spec
+        self._schedule: List[TaskSpec] = (
+            list(tasks) if tasks is not None else schedule_tasks(spec)
+        )
+        self._cache = cache
+        self._lease_timeout = lease_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._completed: Dict[TaskSpec, TaskResult] = {}
+        self._stats: Dict[str, int] = {
+            "cache_hits": 0,
+            "scheduled": 0,
+            "completed": 0,
+            "reassignments": 0,
+            "late_completions": 0,
+            "duplicates": 0,
+            "rejected": 0,
+        }
+
+        if cache is not None:
+            hits, pending_tasks = cache.partition(spec, self._schedule)
+            self._completed.update(hits)
+            self._stats["cache_hits"] = len(hits)
+        else:
+            pending_tasks = list(self._schedule)
+        self._scheduled_tasks: Tuple[TaskSpec, ...] = tuple(pending_tasks)
+        self._stats["scheduled"] = len(pending_tasks)
+
+        requested = granularity if granularity is not None else spec.granularity
+        self._granularity = resolve_granularity(requested, pending_tasks, workers_hint)
+        if self._granularity == "cell":
+            grouped = _group_by_cell(pending_tasks)
+        else:
+            grouped = [[task] for task in pending_tasks]
+        self._groups: List[_Group] = [
+            _Group(index, tuple(group)) for index, group in enumerate(grouped)
+        ]
+        self._pending: Deque[int] = deque(group.group_id for group in self._groups)
+        self._leases: Dict[str, int] = {}
+        self._deadlines: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The scenario being executed."""
+        return self._spec
+
+    @property
+    def granularity(self) -> str:
+        """The resolved lease granularity (``"cell"`` or ``"case"``)."""
+        return self._granularity
+
+    @property
+    def scheduled_tasks(self) -> Tuple[TaskSpec, ...]:
+        """Tasks that entered the queue (i.e. were not served from cache)."""
+        return self._scheduled_tasks
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Lifecycle counters (a copy)."""
+        with self._lock:
+            return dict(self._stats)
+
+    @property
+    def done(self) -> bool:
+        """Have all scheduled tasks been completed?"""
+        with self._lock:
+            return len(self._completed) == len(self._schedule)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of groups waiting for a lease."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def outstanding_count(self) -> int:
+        """Number of currently leased groups."""
+        with self._lock:
+            return sum(1 for group in self._groups if group.state == "leased")
+
+    # ------------------------------------------------------- lease lifecycle
+    def _reclaim_expired_locked(self, now: float) -> None:
+        for group in self._groups:
+            if group.state != "leased" or group.current_lease_id is None:
+                continue
+            deadline = self._deadlines.get(group.current_lease_id)
+            if deadline is not None and deadline <= now:
+                group.state = "pending"
+                group.current_lease_id = None
+                self._pending.appendleft(group.group_id)
+                self._stats["reassignments"] += 1
+                self._work_available.notify_all()
+
+    def request_lease(self, worker_id: str) -> Optional[Lease]:
+        """Grant the next pending group to ``worker_id``.
+
+        Reclaims expired leases first; returns ``None`` when nothing is
+        pending (the caller should :meth:`wait_for_work` and distinguish a
+        drained queue from a finished run via :attr:`done`).
+        """
+        now = self._clock()
+        with self._lock:
+            self._reclaim_expired_locked(now)
+            if not self._pending:
+                return None
+            group = self._groups[self._pending.popleft()]
+            group.attempts += 1
+            lease_id = f"L{group.group_id}.{group.attempts}"
+            group.state = "leased"
+            group.current_lease_id = lease_id
+            lease = Lease(
+                lease_id=lease_id,
+                worker_id=worker_id,
+                tasks=group.tasks,
+                deadline=now + self._lease_timeout,
+                attempt=group.attempts,
+            )
+            self._leases[lease_id] = group.group_id
+            self._deadlines[lease_id] = lease.deadline
+            return lease
+
+    def complete_lease(
+        self, lease_id: str, results: Sequence[TaskResult]
+    ) -> bool:
+        """Record the results of a lease.
+
+        Returns ``True`` when the results were accepted, ``False`` for a
+        duplicate completion (the group was already completed — possibly by
+        another worker after a reclaim).  Raises
+        :class:`LeaseValidationError` when the lease id is unknown or the
+        results do not cover the lease's tasks exactly; in the latter case
+        the group is requeued so the run still finishes.
+        """
+        with self._lock:
+            group_id = self._leases.get(lease_id)
+            if group_id is None:
+                raise LeaseValidationError(f"unknown lease id {lease_id!r}")
+            group = self._groups[group_id]
+            if group.state == "done":
+                self._stats["duplicates"] += 1
+                return False
+            by_task = {result.task: result for result in results}
+            if len(by_task) != len(results) or set(by_task) != set(group.tasks):
+                self._stats["rejected"] += 1
+                if group.current_lease_id == lease_id:
+                    group.state = "pending"
+                    group.current_lease_id = None
+                    self._pending.appendleft(group.group_id)
+                    self._work_available.notify_all()
+                raise LeaseValidationError(
+                    f"lease {lease_id!r}: results do not cover the leased tasks "
+                    f"(got {len(results)} result(s) for {len(group.tasks)} task(s))"
+                )
+            if group.current_lease_id != lease_id:
+                # A reclaimed lease finishing after all: accept it (the
+                # leaves are pure) and cancel the requeued copy.
+                self._stats["late_completions"] += 1
+                if group.state == "pending":
+                    self._pending.remove(group.group_id)
+            group.state = "done"
+            group.current_lease_id = None
+            for task in group.tasks:
+                self._completed[task] = by_task[task]
+            self._stats["completed"] += len(group.tasks)
+            if self._cache is not None:
+                for task in group.tasks:
+                    if task_is_deterministic(self._spec, task):
+                        self._cache.put(self._spec, by_task[task])
+            self._work_available.notify_all()
+            return True
+
+    def fail_lease(self, lease_id: str) -> None:
+        """Return a lease to the queue immediately (a worker giving up)."""
+        with self._lock:
+            group_id = self._leases.get(lease_id)
+            if group_id is None:
+                raise LeaseValidationError(f"unknown lease id {lease_id!r}")
+            group = self._groups[group_id]
+            if group.current_lease_id != lease_id or group.state != "leased":
+                return
+            group.state = "pending"
+            group.current_lease_id = None
+            self._pending.appendleft(group.group_id)
+            self._stats["reassignments"] += 1
+            self._work_available.notify_all()
+
+    def wait_for_work(self, timeout: float) -> bool:
+        """Block until work may be available (or ``timeout`` elapses).
+
+        Wakes early on completions and requeues; always returns after at
+        most ``timeout`` seconds so callers can re-check expiries against
+        the injected clock.  Returns :attr:`done` at the time of waking.
+        """
+        with self._lock:
+            if not self._pending and len(self._completed) < len(self._schedule):
+                self._work_available.wait(timeout)
+            return len(self._completed) == len(self._schedule)
+
+    # ------------------------------------------------------------- results
+    def results(self) -> List[TaskResult]:
+        """All task results in schedule order (requires :attr:`done`)."""
+        with self._lock:
+            if len(self._completed) != len(self._schedule):
+                missing = len(self._schedule) - len(self._completed)
+                raise RuntimeError(
+                    f"coordinator is not done: {missing} task(s) incomplete"
+                )
+            return [self._completed[task] for task in self._schedule]

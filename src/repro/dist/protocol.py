@@ -1,0 +1,494 @@
+"""File-based coordinator protocol over a shared directory.
+
+The in-memory :class:`~repro.dist.coordinator.Coordinator` serves workers
+in its own process.  This module speaks the *same lease lifecycle* through
+a shared directory (NFS mount, synced folder, shared volume), so workers on
+other machines can pull work with nothing but filesystem access:
+
+```
+workdir/
+├── spec.json            scenario spec + provenance hash + batch count
+├── queue/batch-0000.json    one file per lease-sized task batch (immutable)
+├── claims/batch-0000.json   lease: created atomically (O_EXCL) by a worker
+└── results/batch-0000.json  completed batch results (atomic replace)
+```
+
+* **Claiming** a batch creates ``claims/<batch>.json`` with
+  ``O_CREAT | O_EXCL`` — atomic on POSIX filesystems, so exactly one
+  worker wins a race.  The claim records the worker id and claim time.
+* **Expiry**: a claim older than the lease timeout whose batch has no
+  result is deleted (by any worker or the collector) and the batch becomes
+  claimable again — a dead worker delays its batch by at most the timeout.
+* **Completion** writes ``results/<batch>.json`` via temp file +
+  ``os.replace``; readers only ever see complete files.  Because leaves
+  are pure, a late writer racing a reclaimer produces the same payload.
+* **Validation**: every file carries the spec's provenance hash
+  (:func:`repro.bench.tasks.spec_provenance_hash`); result files must
+  cover their batch's tasks exactly.  Invalid results are purged (and the
+  batch re-executed) by whoever discovers them — a corrupted worker cannot
+  poison the merged result.
+
+:func:`init_workdir` populates the directory (consulting an optional
+:class:`~repro.dist.cache.TaskCache` so cache hits never enter the queue),
+:func:`run_worker` is the worker loop (the ``work`` CLI subcommand), and
+:func:`collect_results` waits for full coverage and returns results in
+schedule order (the ``coordinate`` subcommand).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from concurrent.futures import Executor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bench.scenario import ScenarioSpec
+from repro.bench.tasks import (
+    TaskResult,
+    TaskSpec,
+    _execute_task_group,
+    _group_by_cell,
+    resolve_granularity,
+    schedule_tasks,
+    spec_provenance_hash,
+    task_is_deterministic,
+)
+from repro.dist.cache import TaskCache, write_json_atomic
+from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT
+
+#: Version tag of the work-directory format.
+WORKDIR_FORMAT = "repro-workdir-v1"
+
+SPEC_FILE = "spec.json"
+QUEUE_DIR = "queue"
+CLAIM_DIR = "claims"
+RESULT_DIR = "results"
+
+#: Results file of cache-prefilled tasks (not a queue batch).
+CACHED_BATCH = "cached"
+
+
+def _batch_name(index: int) -> str:
+    return f"batch-{index:04d}"
+
+
+# ---------------------------------------------------------------------------
+# Setup
+# ---------------------------------------------------------------------------
+def init_workdir(
+    path: str,
+    spec: ScenarioSpec,
+    workers_hint: int = 1,
+    granularity: Optional[str] = None,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    cache: Optional[TaskCache] = None,
+) -> dict:
+    """Populate (or resume) a coordinator work directory; returns its metadata.
+
+    A directory that already holds the same scenario (equal provenance
+    hash) is resumed as-is — existing results are kept, which is what makes
+    re-runs cheap.  A directory holding a *different* scenario is refused.
+    Cache hits are written straight to ``results/cached.json`` and never
+    become queue batches.
+    """
+    path = os.fspath(path)
+    spec_hash = spec_provenance_hash(spec)
+    spec_path = os.path.join(path, SPEC_FILE)
+    if os.path.exists(spec_path):
+        with open(spec_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("format") != WORKDIR_FORMAT:
+            raise ValueError(f"{path}: not a {WORKDIR_FORMAT} work directory")
+        if meta.get("spec_hash") != spec_hash:
+            raise ValueError(
+                f"{path}: work directory belongs to a different scenario "
+                "(spec provenance hash mismatch)"
+            )
+        return meta
+    for sub in (QUEUE_DIR, CLAIM_DIR, RESULT_DIR):
+        os.makedirs(os.path.join(path, sub), exist_ok=True)
+
+    tasks = schedule_tasks(spec)
+    if cache is not None:
+        hits, pending = cache.partition(spec, tasks)
+    else:
+        hits, pending = {}, list(tasks)
+    cached_results = [hits[task] for task in tasks if task in hits]
+    if cached_results:
+        write_json_atomic(
+            os.path.join(path, RESULT_DIR, f"{CACHED_BATCH}.json"),
+            {
+                "format": WORKDIR_FORMAT,
+                "spec_hash": spec_hash,
+                "batch": CACHED_BATCH,
+                "results": [result.to_json_dict() for result in cached_results],
+            },
+        )
+
+    resolved = resolve_granularity(
+        granularity if granularity is not None else spec.granularity,
+        pending,
+        max(1, workers_hint),
+    )
+    if resolved == "cell":
+        grouped = _group_by_cell(pending)
+    else:
+        grouped = [[task] for task in pending]
+    for index, group in enumerate(grouped):
+        write_json_atomic(
+            os.path.join(path, QUEUE_DIR, f"{_batch_name(index)}.json"),
+            {
+                "format": WORKDIR_FORMAT,
+                "spec_hash": spec_hash,
+                "batch": _batch_name(index),
+                "tasks": [task.to_json_dict() for task in group],
+            },
+        )
+    meta = {
+        "format": WORKDIR_FORMAT,
+        "spec": spec.to_json_dict(),
+        "spec_hash": spec_hash,
+        "lease_timeout": lease_timeout,
+        "granularity": resolved,
+        "batches": len(grouped),
+        "cached_tasks": len(cached_results),
+    }
+    write_json_atomic(spec_path, meta)
+    return meta
+
+
+def load_workdir(path: str) -> Tuple[ScenarioSpec, dict]:
+    """Load a work directory's scenario spec and metadata (validated)."""
+    path = os.fspath(path)
+    with open(os.path.join(path, SPEC_FILE), "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if meta.get("format") != WORKDIR_FORMAT:
+        raise ValueError(f"{path}: not a {WORKDIR_FORMAT} work directory")
+    spec = ScenarioSpec.from_json_dict(meta["spec"])
+    if meta.get("spec_hash") != spec_provenance_hash(spec):
+        raise ValueError(f"{path}: spec provenance hash mismatch")
+    return spec, meta
+
+
+def _load_batch_tasks(path: str, batch: str, spec_hash: str) -> List[TaskSpec]:
+    with open(
+        os.path.join(path, QUEUE_DIR, f"{batch}.json"), "r", encoding="utf-8"
+    ) as handle:
+        payload = json.load(handle)
+    if payload.get("spec_hash") != spec_hash or payload.get("batch") != batch:
+        raise ValueError(f"{path}: queue batch {batch} is corrupt")
+    return [TaskSpec.from_json_dict(task) for task in payload["tasks"]]
+
+
+# ---------------------------------------------------------------------------
+# Claims and results
+# ---------------------------------------------------------------------------
+def _claim_path(path: str, batch: str) -> str:
+    return os.path.join(path, CLAIM_DIR, f"{batch}.json")
+
+
+def _result_path(path: str, batch: str) -> str:
+    return os.path.join(path, RESULT_DIR, f"{batch}.json")
+
+
+def _try_claim(
+    path: str, batch: str, worker_id: str, lease_timeout: float, now: float
+) -> bool:
+    """Atomically claim a batch; steals claims past the lease timeout."""
+    claim_path = _claim_path(path, batch)
+    for _ in range(2):  # second pass after deleting an expired claim
+        try:
+            fd = os.open(claim_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            claimed_at = _claimed_at(claim_path)
+            if claimed_at is None:
+                continue  # claim vanished between the create and the read
+            if claimed_at + lease_timeout > now:
+                return False
+            try:  # expired: delete and retry the exclusive create
+                os.unlink(claim_path)
+            except OSError:
+                return False
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump({"worker": worker_id, "claimed_at": now}, handle)
+            handle.write("\n")
+        return True
+    return False
+
+
+def _claimed_at(claim_path: str) -> Optional[float]:
+    """When was this claim taken?  ``None`` when the claim no longer exists.
+
+    Falls back to the file's mtime when the claim content is unreadable —
+    a worker killed between creating and writing the claim must not leave
+    its batch permanently unclaimable.
+    """
+    try:
+        with open(claim_path, "r", encoding="utf-8") as handle:
+            return float(json.load(handle)["claimed_at"])
+    except (ValueError, KeyError, TypeError):
+        pass
+    except OSError:
+        return None
+    try:
+        return os.stat(claim_path).st_mtime
+    except OSError:
+        return None
+
+
+def _release_claim(path: str, batch: str) -> None:
+    try:
+        os.unlink(_claim_path(path, batch))
+    except OSError:
+        pass
+
+
+def _load_valid_result(
+    path: str,
+    batch: str,
+    spec_hash: str,
+    expected_tasks: Optional[Sequence[TaskSpec]],
+) -> Optional[List[TaskResult]]:
+    """Load a result file, purging it (and its claim) when invalid.
+
+    ``expected_tasks`` is the batch's task list (``None`` for the cache
+    prefill file, which has no queue counterpart).  Returns ``None`` when
+    the result is missing or was invalid and purged.
+    """
+    result_path = _result_path(path, batch)
+    try:
+        with open(result_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("spec_hash") != spec_hash or payload.get("batch") != batch:
+            raise ValueError("foreign result file")
+        results = [TaskResult.from_json_dict(entry) for entry in payload["results"]]
+        if expected_tasks is not None:
+            produced = {result.task for result in results}
+            if len(produced) != len(results) or produced != set(expected_tasks):
+                raise ValueError("results do not cover the batch")
+    except OSError:
+        return None
+    except (ValueError, KeyError, TypeError):
+        try:
+            os.unlink(result_path)
+        except OSError:
+            pass
+        _release_claim(path, batch)
+        return None
+    return results
+
+
+def _write_result(
+    path: str, batch: str, spec_hash: str, results: Sequence[TaskResult]
+) -> None:
+    write_json_atomic(
+        _result_path(path, batch),
+        {
+            "format": WORKDIR_FORMAT,
+            "spec_hash": spec_hash,
+            "batch": batch,
+            "results": [result.to_json_dict() for result in results],
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker loop
+# ---------------------------------------------------------------------------
+def run_worker(
+    path: str,
+    worker_id: Optional[str] = None,
+    poll: float = 0.1,
+    max_batches: Optional[int] = None,
+    clock=time.time,
+    stop: Optional["threading.Event"] = None,
+    executor: Optional["Executor"] = None,
+) -> int:
+    """Pull and execute batches from a work directory until it is drained.
+
+    Returns the number of batches this worker executed.  The loop ends when
+    every batch has a *valid* result — invalid results discovered along the
+    way are purged and re-executed, and claims past the lease timeout are
+    stolen, so a single surviving worker always finishes the run.
+
+    ``stop`` (optional) ends the loop early at the next batch boundary —
+    the coordinator sets it when it gives up on the directory.  ``executor``
+    (optional) runs each batch on an executor instead of this thread, so
+    several in-process worker threads can execute truly in parallel on a
+    shared process pool (the ``coordinate`` CLI does exactly that).
+    """
+    path = os.fspath(path)
+    if worker_id is None:
+        worker_id = f"{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    spec, meta = load_workdir(path)
+    spec_hash = meta["spec_hash"]
+    lease_timeout = float(meta["lease_timeout"])
+    batches = [_batch_name(index) for index in range(meta["batches"])]
+    # Queue batch files are immutable: parse each exactly once.
+    batch_tasks = {
+        batch: _load_batch_tasks(path, batch, spec_hash) for batch in batches
+    }
+    known_done: Set[str] = set()
+    executed = 0
+    while True:
+        if max_batches is not None and executed >= max_batches:
+            return executed
+        if stop is not None and stop.is_set():
+            return executed
+        progressed = False
+        for batch in batches:
+            if batch in known_done:
+                continue
+            if stop is not None and stop.is_set():
+                return executed
+            tasks = batch_tasks[batch]
+            if _load_valid_result(path, batch, spec_hash, tasks) is not None:
+                known_done.add(batch)
+                continue
+            if not _try_claim(path, batch, worker_id, lease_timeout, clock()):
+                continue
+            if executor is not None:
+                results = executor.submit(_execute_task_group, spec, tasks).result()
+            else:
+                results = _execute_task_group(spec, tasks)
+            _write_result(path, batch, spec_hash, results)
+            _release_claim(path, batch)
+            known_done.add(batch)
+            executed += 1
+            progressed = True
+            if max_batches is not None and executed >= max_batches:
+                return executed
+        if len(known_done) == len(batches):
+            return executed
+        if not progressed:
+            time.sleep(poll)
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+def _rebuild_cached_results(
+    path: str,
+    spec: ScenarioSpec,
+    spec_hash: str,
+    batch_tasks: Dict[str, List[TaskSpec]],
+    cache: Optional[TaskCache],
+) -> List[TaskResult]:
+    """Recreate a lost ``results/cached.json`` prefill file.
+
+    The prefill tasks are exactly the schedule minus every queue batch;
+    their results must come from the task cache (or be re-executed when no
+    cache is attached — they are deterministic by construction, so this is
+    always safe).  Writes the rebuilt file so the next scan finds it.
+    """
+    queued = {task for tasks in batch_tasks.values() for task in tasks}
+    prefilled = [task for task in schedule_tasks(spec) if task not in queued]
+    results: List[TaskResult] = []
+    for task in prefilled:
+        hit = cache.get(spec, task) if cache is not None else None
+        if hit is None:
+            hit = _execute_task_group(spec, [task])[0]
+        results.append(hit)
+    write_json_atomic(
+        _result_path(path, CACHED_BATCH),
+        {
+            "format": WORKDIR_FORMAT,
+            "spec_hash": spec_hash,
+            "batch": CACHED_BATCH,
+            "results": [result.to_json_dict() for result in results],
+        },
+    )
+    return results
+
+
+def collect_results(
+    path: str,
+    timeout: Optional[float] = None,
+    poll: float = 0.1,
+    cache: Optional[TaskCache] = None,
+    clock=time.time,
+) -> Tuple[ScenarioSpec, List[TaskResult]]:
+    """Wait for full, valid coverage of the schedule and return the results.
+
+    Validates every result file (provenance hash, exact batch coverage),
+    purging invalid ones so workers re-execute them, and steals expired
+    claims on behalf of dead workers.  Verifies at the end that the union
+    of all results covers the scenario's schedule exactly — the same
+    guarantee as a shard ``merge``.  Newly computed deterministic results
+    are written to ``cache`` when one is given.  Raises ``TimeoutError``
+    when ``timeout`` seconds pass without full coverage.
+    """
+    path = os.fspath(path)
+    spec, meta = load_workdir(path)
+    spec_hash = meta["spec_hash"]
+    lease_timeout = float(meta["lease_timeout"])
+    batches = [_batch_name(index) for index in range(meta["batches"])]
+    # Queue batch files are immutable: parse each exactly once.  Validated
+    # results are cached across poll iterations too — result writes are
+    # atomic and never rewritten with different content, so a batch that
+    # validated once stays valid, and only missing batches are re-read.
+    batch_tasks = {
+        batch: _load_batch_tasks(path, batch, spec_hash) for batch in batches
+    }
+    collected: Dict[str, List[TaskResult]] = {}
+    deadline = None if timeout is None else clock() + timeout
+    while True:
+        missing: List[str] = []
+        for batch in batches:
+            if batch in collected:
+                continue
+            results = _load_valid_result(path, batch, spec_hash, batch_tasks[batch])
+            if results is None:
+                missing.append(batch)
+            else:
+                collected[batch] = results
+        if meta.get("cached_tasks", 0) and CACHED_BATCH not in collected:
+            cached = _load_valid_result(path, CACHED_BATCH, spec_hash, None)
+            if cached is None:
+                # The cache-prefill file was corrupted or deleted; its tasks
+                # exist in no queue batch, so rebuild it (from the attached
+                # cache when possible) instead of leaving the directory
+                # permanently short of coverage.
+                cached = _rebuild_cached_results(
+                    path, spec, spec_hash, batch_tasks, cache
+                )
+            collected[CACHED_BATCH] = cached
+        if not missing:
+            by_task: Dict[TaskSpec, TaskResult] = {}
+            flat = [result for results in collected.values() for result in results]
+            for result in flat:
+                by_task[result.task] = result
+            schedule = schedule_tasks(spec)
+            if len(by_task) != len(flat) or set(by_task) != set(schedule):
+                raise ValueError(
+                    f"{path}: results do not cover the scenario schedule exactly"
+                )
+            if cache is not None:
+                for batch, results in collected.items():
+                    if batch == CACHED_BATCH:
+                        continue
+                    for result in results:
+                        if task_is_deterministic(spec, result.task):
+                            cache.put(spec, result)
+            return spec, [by_task[task] for task in schedule]
+        # Steal expired claims so batches of dead workers free up even
+        # when no worker is currently scanning.
+        now = clock()
+        for batch in missing:
+            claim_path = _claim_path(path, batch)
+            claimed_at = _claimed_at(claim_path)
+            if claimed_at is not None and claimed_at + lease_timeout <= now:
+                try:
+                    os.unlink(claim_path)
+                except OSError:
+                    pass
+        if deadline is not None and clock() >= deadline:
+            raise TimeoutError(
+                f"{path}: timed out waiting for {len(missing)} batch(es): "
+                f"{missing[:5]}"
+            )
+        time.sleep(poll)

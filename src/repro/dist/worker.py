@@ -1,0 +1,152 @@
+"""Local workers driving a :class:`~repro.dist.coordinator.Coordinator`.
+
+A :class:`Worker` is a thread in the coordinator's process that pulls
+leases and executes them — in-process for a single worker, or by
+submitting the lease's task group to a shared ``ProcessPoolExecutor`` so
+that leases run truly in parallel.  :func:`run_coordinated` wires the
+standard topology together (coordinator + N workers + pool) and is what
+``run_scenario(backend="coordinator")`` calls.
+
+Fault model: a worker that raises mid-lease simply stops completing it —
+its thread records the error and exits, the lease expires, and the
+coordinator reassigns the group to a surviving worker.  Tests inject
+exactly this through the ``on_lease`` hook.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Callable, List, Optional
+
+from repro.bench.scenario import ScenarioSpec
+from repro.bench.tasks import TaskResult, TaskSpec, _execute_task_group
+from repro.dist.cache import TaskCache
+from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT, Coordinator, Lease
+
+
+class Worker(threading.Thread):
+    """One lease-pulling worker thread.
+
+    Parameters
+    ----------
+    worker_id:
+        Identifier recorded on every lease this worker holds.
+    coordinator:
+        The coordinator to pull leases from.
+    executor:
+        Optional executor; when given, lease groups are submitted to it
+        (one lease = one submission) instead of executing on this thread.
+    poll:
+        Seconds to wait between queue checks when no lease is pending.
+    on_lease:
+        Optional hook called with every granted :class:`Lease` before
+        execution — the fault-injection seam used by the tests (raising
+        here simulates a worker dying mid-lease).
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        coordinator: Coordinator,
+        executor: Optional[Executor] = None,
+        poll: float = 0.05,
+        on_lease: Optional[Callable[[Lease], None]] = None,
+    ) -> None:
+        super().__init__(name=f"repro-dist-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.error: Optional[BaseException] = None
+        self.completed_leases = 0
+        self._coordinator = coordinator
+        self._executor = executor
+        self._poll = poll
+        self._on_lease = on_lease
+
+    def run(self) -> None:  # pragma: no cover - thin wrapper around drain()
+        try:
+            self.drain()
+        except BaseException as exc:
+            self.error = exc
+
+    def drain(self) -> int:
+        """Pull and execute leases until the coordinator is done.
+
+        Returns the number of leases this worker completed.  Runs on the
+        calling thread — ``start()`` runs it on the worker thread instead.
+        """
+        coordinator = self._coordinator
+        while True:
+            lease = coordinator.request_lease(self.worker_id)
+            if lease is None:
+                if coordinator.done:
+                    return self.completed_leases
+                coordinator.wait_for_work(self._poll)
+                continue
+            if self._on_lease is not None:
+                self._on_lease(lease)
+            results = self._execute(coordinator.spec, list(lease.tasks))
+            coordinator.complete_lease(lease.lease_id, results)
+            self.completed_leases += 1
+
+    def _execute(
+        self, spec: ScenarioSpec, tasks: List[TaskSpec]
+    ) -> List[TaskResult]:
+        if self._executor is None:
+            return _execute_task_group(spec, tasks)
+        return self._executor.submit(_execute_task_group, spec, tasks).result()
+
+
+def run_coordinated(
+    spec: ScenarioSpec,
+    workers: int = 1,
+    granularity: Optional[str] = None,
+    cache: Optional[TaskCache] = None,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    use_processes: Optional[bool] = None,
+) -> Coordinator:
+    """Execute a scenario's schedule through a coordinator with local workers.
+
+    ``workers == 1`` drains the queue on the calling thread (no pool);
+    ``workers > 1`` starts that many worker threads sharing one
+    ``ProcessPoolExecutor`` (``use_processes=False`` keeps execution on the
+    threads themselves — useful in tests that monkeypatch task execution).
+    Returns the finished coordinator; call ``results()`` for the task
+    results in schedule order.  Raises the first worker error when the run
+    could not finish.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    coordinator = Coordinator(
+        spec,
+        workers_hint=workers,
+        granularity=granularity,
+        cache=cache,
+        lease_timeout=lease_timeout,
+    )
+    if use_processes is None:
+        use_processes = workers > 1
+    if workers == 1 and not use_processes:
+        Worker("worker-0", coordinator).drain()
+    else:
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if use_processes:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            threads = [
+                Worker(f"worker-{index}", coordinator, executor=pool)
+                for index in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        if not coordinator.done:
+            errors = [thread.error for thread in threads if thread.error is not None]
+            if errors:
+                raise errors[0]
+            raise RuntimeError("coordinator run ended with incomplete tasks")
+    return coordinator

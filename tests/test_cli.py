@@ -42,8 +42,44 @@ class TestParser:
     def test_granularity_flag(self):
         args = build_parser().parse_args(["figure1", "--granularity", "case"])
         assert args.granularity == "case"
+        assert (
+            build_parser().parse_args(["figure1", "--granularity", "auto"]).granularity
+            == "auto"
+        )
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure1", "--granularity", "query"])
+
+    def test_backend_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["figure1", "--backend", "coordinator", "--cache-dir", "/tmp/c"]
+        )
+        assert args.backend == "coordinator"
+        assert args.cache_dir == "/tmp/c"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--backend", "cluster"])
+
+    def test_coordinate_parser(self):
+        from repro.bench.cli import build_coordinate_parser
+
+        args = build_coordinate_parser().parse_args(
+            ["figure1", "--dir", "wd", "--workers", "2", "--steps"]
+        )
+        assert args.figure == "figure1"
+        assert args.dir == "wd"
+        assert args.workers == 2
+        assert args.steps is True
+        with pytest.raises(SystemExit):  # --dir is required
+            build_coordinate_parser().parse_args(["figure1"])
+
+    def test_work_parser(self):
+        from repro.bench.cli import build_work_parser
+
+        args = build_work_parser().parse_args(
+            ["--dir", "wd", "--worker-id", "w7", "--max-batches", "3"]
+        )
+        assert args.dir == "wd"
+        assert args.worker_id == "w7"
+        assert args.max_batches == 3
 
     def test_steps_and_shard_flags(self):
         args = build_parser().parse_args(
@@ -146,3 +182,64 @@ class TestShardAndMerge:
         run(["figure1", "--scale", "smoke", "--steps", "--shard", "0/2", "--out", out])
         with pytest.raises(ValueError, match="missing shard indices"):
             run(["merge", out])
+
+
+class TestCoordinateAndWork:
+    """End-to-end: coordinate + work subcommands match the sequential report."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_step_figure(self, monkeypatch):
+        from repro.bench import figures
+        from repro.bench.scenario import ScenarioScale
+
+        original = figures.FIGURE_SPECS["figure1"]
+
+        def tiny_spec(scale=ScenarioScale.DEFAULT):
+            return figures.step_variant(
+                original(ScenarioScale.SMOKE).with_scale_overrides(
+                    table_counts=(4,), num_test_cases=1
+                ),
+                step_checkpoints=(1, 2),
+            )
+
+        monkeypatch.setitem(figures.STEP_FIGURE_SPECS, "figure1", tiny_spec)
+
+    def test_coordinate_report_matches_sequential(self, tmp_path):
+        workdir = str(tmp_path / "workdir")
+        cache_dir = str(tmp_path / "cache")
+        report = run(
+            [
+                "coordinate", "figure1", "--scale", "smoke", "--steps",
+                "--dir", workdir, "--workers", "2",
+                "--cache-dir", cache_dir, "--timeout", "120",
+            ]
+        )
+        sequential = run(["figure1", "--scale", "smoke", "--steps"])
+        header, body = report.split("\n", 1)
+        assert header.startswith("[coordinator:")
+        assert body == sequential
+
+    def test_warm_cache_coordinate_queues_zero_batches(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        common = [
+            "coordinate", "figure1", "--scale", "smoke", "--steps",
+            "--cache-dir", cache_dir, "--timeout", "120",
+        ]
+        run([*common, "--dir", str(tmp_path / "cold"), "--workers", "1"])
+        # Fresh work directory, warm cache: every leaf is prefilled and no
+        # batch is ever queued (--workers 0: nobody could execute one).
+        warm = run([*common, "--dir", str(tmp_path / "warm"), "--workers", "0"])
+        assert "0 batch(es)" in warm.split("\n", 1)[0]
+        sequential = run(["figure1", "--scale", "smoke", "--steps"])
+        assert warm.split("\n", 1)[1] == sequential
+
+    def test_work_subcommand_drains_directory(self, tmp_path):
+        from repro.bench import figures
+        from repro.bench.scenario import ScenarioScale
+        from repro.dist.protocol import init_workdir
+
+        spec = figures.STEP_FIGURE_SPECS["figure1"](ScenarioScale.SMOKE)
+        workdir = str(tmp_path / "workdir")
+        meta = init_workdir(workdir, spec)
+        report = run(["work", "--dir", workdir, "--worker-id", "w0"])
+        assert f"executed {meta['batches']} batch(es)" in report

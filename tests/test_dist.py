@@ -1,0 +1,583 @@
+"""Tests for the distributed coordinator subsystem (repro.dist).
+
+The headline property: on step-driven specs, ``backend="coordinator"``
+produces output bit-identical to sequential ``run_scenario`` with 1, 2,
+and 4 workers — through worker death, corrupted completions, duplicate
+completions, and warm-cache runs that execute zero DP-reference leaves.
+"""
+
+import dataclasses
+import json
+import os
+import threading
+
+import pytest
+
+import repro.bench.tasks as tasks_module
+from repro.bench.runner import ScenarioResult, reduce_task_results, run_scenario
+from repro.bench.scenario import ScenarioScale, ScenarioSpec
+from repro.bench.tasks import (
+    ROLE_REFERENCE,
+    clear_reference_memo,
+    reference_memo_size,
+    schedule_tasks,
+    task_is_deterministic,
+    task_provenance_hash,
+)
+from repro.dist import TaskCache, Worker, run_coordinated
+from repro.dist.coordinator import Coordinator, LeaseValidationError
+from repro.dist.protocol import (
+    collect_results,
+    init_workdir,
+    load_workdir,
+    run_worker,
+)
+from repro.query.join_graph import GraphShape
+
+
+@pytest.fixture(scope="module")
+def step_spec():
+    """Step-driven smoke spec with DP-reference leaves (all deterministic)."""
+    return ScenarioSpec(
+        name="dist-smoke",
+        description="coordinator determinism smoke spec",
+        graph_shapes=(GraphShape.CHAIN, GraphShape.STAR),
+        table_counts=(4,),
+        num_metrics=2,
+        algorithms=("RandomSampling", "RMQ"),
+        num_test_cases=2,
+        step_checkpoints=(2, 4),
+        reference_algorithm="DP(1.01)",
+        seed=11,
+        scale=ScenarioScale.SMOKE,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_result(step_spec):
+    return run_scenario(step_spec, workers=1)
+
+
+class FakeClock:
+    """Settable monotonic clock for lease-expiry tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# Provenance hashes and the determinism gate
+# ---------------------------------------------------------------------------
+class TestProvenanceHash:
+    def test_hash_is_stable_and_distinct_per_task(self, step_spec):
+        tasks = schedule_tasks(step_spec)
+        hashes = [task_provenance_hash(step_spec, task) for task in tasks]
+        assert hashes == [task_provenance_hash(step_spec, task) for task in tasks]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_reference_hash_ignores_variant_only_fields(self, step_spec):
+        # A figure variant with different algorithms / step checkpoints /
+        # name shares its reference leaves — their hashes must not move.
+        variant = dataclasses.replace(
+            step_spec,
+            name="dist-smoke-variant",
+            algorithms=("RandomSampling",),
+            step_checkpoints=(3, 6),
+        )
+        for task in schedule_tasks(step_spec):
+            if task.role == ROLE_REFERENCE:
+                assert task_provenance_hash(step_spec, task) == task_provenance_hash(
+                    variant, task
+                )
+
+    def test_algorithm_hash_tracks_execution_fields(self, step_spec):
+        task = next(
+            task
+            for task in schedule_tasks(step_spec)
+            if task.role != ROLE_REFERENCE
+        )
+        changed = dataclasses.replace(step_spec, step_checkpoints=(3, 6))
+        assert task_provenance_hash(step_spec, task) != task_provenance_hash(
+            changed, task
+        )
+        reseeded = dataclasses.replace(step_spec, seed=step_spec.seed + 1)
+        assert task_provenance_hash(step_spec, task) != task_provenance_hash(
+            reseeded, task
+        )
+
+    def test_determinism_gate(self, step_spec):
+        tasks = schedule_tasks(step_spec)
+        assert all(task_is_deterministic(step_spec, task) for task in tasks)
+        wall_clock = dataclasses.replace(
+            step_spec, step_checkpoints=None, reference_time_budget=0.5
+        )
+        assert not any(task_is_deterministic(wall_clock, task) for task in tasks)
+
+
+# ---------------------------------------------------------------------------
+# TaskCache
+# ---------------------------------------------------------------------------
+class TestTaskCache:
+    def test_miss_then_hit_round_trip(self, step_spec, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        task = schedule_tasks(step_spec)[0]
+        assert cache.get(step_spec, task) is None
+        result = tasks_module.execute_task(step_spec, task)
+        cache.put(step_spec, result)
+        assert cache.get(step_spec, task) == result
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+
+    def test_non_deterministic_results_refused(self, step_spec, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        wall_clock = dataclasses.replace(
+            step_spec,
+            step_checkpoints=None,
+            time_budget=0.05,
+            checkpoints=(0.05,),
+            reference_algorithm=None,
+        )
+        task = schedule_tasks(wall_clock)[0]
+        result = tasks_module.execute_task(wall_clock, task)
+        with pytest.raises(ValueError, match="non-deterministic"):
+            cache.put(wall_clock, result)
+        assert cache.get(wall_clock, task) is None
+
+    def test_corrupted_entry_is_a_miss(self, step_spec, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        task = schedule_tasks(step_spec)[0]
+        key = cache.put(step_spec, tasks_module.execute_task(step_spec, task))
+        entry = tmp_path / "cache" / key[:2] / f"{key}.json"
+        entry.write_text("{not json")
+        assert cache.get(step_spec, task) is None
+
+    def test_cross_variant_reference_reuse(self, step_spec, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        reference = next(
+            task
+            for task in schedule_tasks(step_spec)
+            if task.role == ROLE_REFERENCE
+        )
+        cache.put(step_spec, tasks_module.execute_task(step_spec, reference))
+        variant = dataclasses.replace(
+            step_spec, name="variant", algorithms=("RandomSampling",)
+        )
+        assert cache.get(variant, reference) is not None
+
+
+# ---------------------------------------------------------------------------
+# Coordinator lease lifecycle (fake clock, no threads)
+# ---------------------------------------------------------------------------
+class TestCoordinatorLifecycle:
+    def _coordinator(self, spec, **kwargs):
+        kwargs.setdefault("clock", FakeClock())
+        kwargs.setdefault("lease_timeout", 10.0)
+        return Coordinator(spec, **kwargs)
+
+    def _drain(self, coordinator, worker_id="w0"):
+        while True:
+            lease = coordinator.request_lease(worker_id)
+            if lease is None:
+                break
+            results = [
+                tasks_module.execute_task(coordinator.spec, task)
+                for task in lease.tasks
+            ]
+            coordinator.complete_lease(lease.lease_id, results)
+
+    def test_drain_produces_sequential_results(self, step_spec, sequential_result):
+        coordinator = self._coordinator(step_spec)
+        self._drain(coordinator)
+        assert coordinator.done
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+    def test_results_before_done_rejected(self, step_spec):
+        coordinator = self._coordinator(step_spec)
+        with pytest.raises(RuntimeError, match="not done"):
+            coordinator.results()
+
+    def test_expired_lease_is_reassigned(self, step_spec, sequential_result):
+        clock = FakeClock()
+        coordinator = self._coordinator(step_spec, clock=clock, lease_timeout=5.0)
+        dead = coordinator.request_lease("dead-worker")  # never completed
+        assert dead is not None
+        clock.advance(6.0)  # past the lease deadline
+        self._drain(coordinator, "survivor")
+        assert coordinator.done
+        assert coordinator.stats["reassignments"] >= 1
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+    def test_late_completion_of_reclaimed_lease_accepted(self, step_spec):
+        clock = FakeClock()
+        coordinator = self._coordinator(step_spec, clock=clock, lease_timeout=5.0)
+        slow = coordinator.request_lease("slow-worker")
+        clock.advance(6.0)
+        # The reclaim happens on the next request; the slow worker then
+        # delivers anyway — pure leaves, so the result is accepted.
+        next_lease = coordinator.request_lease("other")
+        assert next_lease is not None
+        results = [
+            tasks_module.execute_task(step_spec, task) for task in slow.tasks
+        ]
+        assert coordinator.complete_lease(slow.lease_id, results) is True
+        assert coordinator.stats["late_completions"] == 1
+        self._drain(coordinator, "other")
+        assert coordinator.done
+
+    def test_duplicate_completion_ignored(self, step_spec, sequential_result):
+        coordinator = self._coordinator(step_spec)
+        lease = coordinator.request_lease("w0")
+        results = [
+            tasks_module.execute_task(step_spec, task) for task in lease.tasks
+        ]
+        assert coordinator.complete_lease(lease.lease_id, results) is True
+        assert coordinator.complete_lease(lease.lease_id, results) is False
+        assert coordinator.stats["duplicates"] == 1
+        self._drain(coordinator)
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+    def test_corrupt_completion_rejected_and_requeued(
+        self, step_spec, sequential_result
+    ):
+        coordinator = self._coordinator(step_spec)
+        lease = coordinator.request_lease("bad-worker")
+        partial = [
+            tasks_module.execute_task(step_spec, task)
+            for task in lease.tasks[:-1]  # drop one task: partial shard
+        ]
+        with pytest.raises(LeaseValidationError, match="do not cover"):
+            coordinator.complete_lease(lease.lease_id, partial)
+        assert coordinator.stats["rejected"] == 1
+        # The group is immediately leaseable again and the run completes.
+        self._drain(coordinator, "good-worker")
+        assert coordinator.done
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+    def test_wrong_task_completion_rejected(self, step_spec):
+        coordinator = self._coordinator(step_spec, granularity="case")
+        lease_a = coordinator.request_lease("w0")
+        lease_b = coordinator.request_lease("w0")
+        swapped = [
+            tasks_module.execute_task(step_spec, task) for task in lease_b.tasks
+        ]
+        with pytest.raises(LeaseValidationError):
+            coordinator.complete_lease(lease_a.lease_id, swapped)
+
+    def test_unknown_lease_rejected(self, step_spec):
+        coordinator = self._coordinator(step_spec)
+        with pytest.raises(LeaseValidationError, match="unknown lease"):
+            coordinator.complete_lease("L999.1", [])
+
+    def test_fail_lease_requeues_immediately(self, step_spec):
+        coordinator = self._coordinator(step_spec)
+        before = coordinator.pending_count
+        lease = coordinator.request_lease("w0")
+        assert coordinator.pending_count == before - 1
+        coordinator.fail_lease(lease.lease_id)
+        assert coordinator.pending_count == before
+
+    def test_adaptive_lease_sizing(self, step_spec):
+        sequential = Coordinator(step_spec, workers_hint=1)
+        assert sequential.granularity == "cell"
+        parallel = Coordinator(step_spec, workers_hint=4)
+        assert parallel.granularity == "case"
+
+
+# ---------------------------------------------------------------------------
+# Coordinator backend end-to-end (bit-identity incl. worker death)
+# ---------------------------------------------------------------------------
+class TestCoordinatorBackend:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_to_sequential(self, step_spec, sequential_result, workers):
+        result = run_scenario(step_spec, backend="coordinator", workers=workers)
+        assert result.cells == sequential_result.cells
+
+    def test_spec_backend_field_selects_coordinator(self, step_spec, sequential_result):
+        spec = dataclasses.replace(step_spec, backend="coordinator", workers=2)
+        assert run_scenario(spec).cells == sequential_result.cells
+
+    def test_worker_death_mid_lease(self, step_spec, sequential_result):
+        # One worker dies on its first lease; the lease expires and the
+        # surviving worker finishes the run with identical output.
+        coordinator = Coordinator(step_spec, workers_hint=2, lease_timeout=0.2)
+
+        class _Death(RuntimeError):
+            pass
+
+        def die_on_first_lease(lease):
+            raise _Death(f"worker died holding {lease.lease_id}")
+
+        dying = Worker("dying", coordinator, on_lease=die_on_first_lease, poll=0.01)
+        surviving = Worker("surviving", coordinator, poll=0.01)
+        dying.start()
+        surviving.start()
+        dying.join(timeout=30)
+        surviving.join(timeout=30)
+        assert isinstance(dying.error, _Death)
+        assert surviving.error is None
+        assert coordinator.done
+        assert coordinator.stats["reassignments"] >= 1
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+
+# ---------------------------------------------------------------------------
+# Warm cache: zero DP-reference leaves executed
+# ---------------------------------------------------------------------------
+class TestWarmCache:
+    def test_cold_run_populates_cache(self, step_spec, sequential_result, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        result = run_scenario(
+            step_spec, backend="coordinator", workers=1, cache=cache
+        )
+        assert result.cells == sequential_result.cells
+        assert len(cache) == len(schedule_tasks(step_spec))
+
+    def test_warm_rerun_executes_zero_reference_leaves(
+        self, step_spec, sequential_result, tmp_path, monkeypatch
+    ):
+        cache_dir = os.fspath(tmp_path / "cache")
+        run_scenario(
+            step_spec, backend="coordinator", workers=1, cache=TaskCache(cache_dir)
+        )
+        # A variant of the figure (different algorithm set) shares the
+        # DP-reference leaves.  With the reference computation rigged to
+        # explode, only cache hits can complete the warm run.
+        variant = dataclasses.replace(
+            step_spec, name="dist-smoke-variant", algorithms=("RandomSampling",)
+        )
+        variant_sequential = run_scenario(variant, workers=1)
+        clear_reference_memo()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("DP reference leaf executed despite warm cache")
+
+        monkeypatch.setattr(tasks_module, "dp_reference_frontier", boom)
+        coordinator = run_coordinated(variant, workers=1, cache=TaskCache(cache_dir))
+        assert coordinator.stats["cache_hits"] >= (
+            variant.num_cells * variant.num_test_cases
+        )
+        assert not any(
+            task.role == ROLE_REFERENCE for task in coordinator.scheduled_tasks
+        )
+        cells = reduce_task_results(variant, coordinator.results())
+        assert cells == variant_sequential.cells
+
+    def test_local_backend_also_uses_cache(self, step_spec, sequential_result, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        first = run_scenario(step_spec, workers=1, cache=cache)
+        assert first.cells == sequential_result.cells
+        warm = TaskCache(os.fspath(tmp_path / "cache"))
+        second = run_scenario(step_spec, workers=1, cache=warm)
+        assert second.cells == sequential_result.cells
+        assert warm.stats["hits"] == len(schedule_tasks(step_spec))
+        assert warm.stats["stores"] == 0
+
+
+# ---------------------------------------------------------------------------
+# In-process reference memo (non-coordinator satellite)
+# ---------------------------------------------------------------------------
+class TestReferenceMemo:
+    def test_plain_run_scenario_memoizes_reference_leaves(
+        self, step_spec, monkeypatch
+    ):
+        clear_reference_memo()
+        baseline = run_scenario(step_spec, workers=1)
+        expected_refs = step_spec.num_cells * step_spec.num_test_cases
+        assert reference_memo_size() == expected_refs
+
+        def boom(*args, **kwargs):
+            raise AssertionError("DP reference recomputed despite memo")
+
+        monkeypatch.setattr(tasks_module, "dp_reference_frontier", boom)
+        variant = dataclasses.replace(
+            step_spec, name="memo-variant", step_checkpoints=(2, 3)
+        )
+        rerun = run_scenario(variant, workers=1)
+        for cell in rerun.cells:
+            assert cell.checkpoints == (2.0, 3.0)
+
+    def test_wall_clock_references_are_not_memoized(self, step_spec):
+        clear_reference_memo()
+        wall_clock = dataclasses.replace(
+            step_spec,
+            step_checkpoints=None,
+            time_budget=0.05,
+            checkpoints=(0.05,),
+            reference_time_budget=0.5,
+        )
+        run_scenario(wall_clock, workers=1)
+        assert reference_memo_size() == 0
+
+    def test_clear_reference_memo_reports_size(self, step_spec):
+        clear_reference_memo()
+        run_scenario(step_spec, workers=1)
+        assert clear_reference_memo() == (
+            step_spec.num_cells * step_spec.num_test_cases
+        )
+        assert reference_memo_size() == 0
+
+
+# ---------------------------------------------------------------------------
+# File protocol (shared-directory leases)
+# ---------------------------------------------------------------------------
+class TestFileProtocol:
+    def _reduce(self, spec, results):
+        return ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
+
+    def test_two_file_workers_match_sequential(
+        self, step_spec, sequential_result, tmp_path
+    ):
+        workdir = os.fspath(tmp_path / "wd")
+        meta = init_workdir(workdir, step_spec, workers_hint=2)
+        assert meta["batches"] > 0
+        threads = [
+            threading.Thread(
+                target=run_worker,
+                args=(workdir,),
+                kwargs={"worker_id": f"w{index}", "poll": 0.01},
+            )
+            for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        spec, results = collect_results(workdir, timeout=120, poll=0.01)
+        for thread in threads:
+            thread.join(timeout=30)
+        assert self._reduce(spec, results).cells == sequential_result.cells
+
+    def test_resume_reuses_existing_results(self, step_spec, tmp_path):
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec)
+        run_worker(workdir, worker_id="w0", poll=0.01)
+        # Re-initializing the same scenario resumes; a worker finds nothing
+        # left to do.
+        init_workdir(workdir, step_spec)
+        assert run_worker(workdir, worker_id="w1", poll=0.01) == 0
+
+    def test_foreign_scenario_refused(self, step_spec, tmp_path):
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec)
+        other = dataclasses.replace(step_spec, seed=step_spec.seed + 1)
+        with pytest.raises(ValueError, match="different scenario"):
+            init_workdir(workdir, other)
+
+    def test_expired_claim_is_stolen(self, step_spec, tmp_path):
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec, lease_timeout=0.1)
+        claim_dir = os.path.join(workdir, "claims")
+        # A worker claimed batch-0000 long ago and died.
+        with open(os.path.join(claim_dir, "batch-0000.json"), "w") as handle:
+            json.dump({"worker": "dead", "claimed_at": 0.0}, handle)
+        executed = run_worker(workdir, worker_id="survivor", poll=0.01)
+        spec, results = collect_results(workdir, timeout=30, poll=0.01)
+        assert executed == load_workdir(workdir)[1]["batches"]
+        assert len(results) == len(schedule_tasks(step_spec))
+
+    def test_corrupt_result_file_is_purged_and_reexecuted(
+        self, step_spec, sequential_result, tmp_path
+    ):
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec)
+        result_path = os.path.join(workdir, "results", "batch-0000.json")
+        with open(result_path, "w") as handle:
+            handle.write('{"format": "garbage"}')
+        run_worker(workdir, worker_id="w0", poll=0.01)
+        spec, results = collect_results(workdir, timeout=30, poll=0.01)
+        assert self._reduce(spec, results).cells == sequential_result.cells
+
+    def test_partial_result_file_is_purged_and_reexecuted(
+        self, step_spec, sequential_result, tmp_path
+    ):
+        # A worker that drops one task from its batch (a partial shard)
+        # must be detected and its batch re-executed.
+        workdir = os.fspath(tmp_path / "wd")
+        meta = init_workdir(workdir, step_spec, workers_hint=1)  # cell batches
+        run_worker(workdir, worker_id="w0", poll=0.01)
+        result_path = os.path.join(workdir, "results", "batch-0000.json")
+        with open(result_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload["results"]) > 1
+        payload["results"] = payload["results"][:-1]
+        with open(result_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        run_worker(workdir, worker_id="w1", poll=0.01)
+        spec, results = collect_results(workdir, timeout=30, poll=0.01)
+        assert self._reduce(spec, results).cells == sequential_result.cells
+
+    def test_unreadable_claim_expires_via_mtime(self, step_spec, tmp_path):
+        # A worker killed between creating and writing its claim leaves a
+        # 0-byte file; it must still expire (by mtime) instead of making
+        # the batch permanently unclaimable.
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec, lease_timeout=0.1)
+        claim_path = os.path.join(workdir, "claims", "batch-0000.json")
+        open(claim_path, "w").close()  # empty claim
+        old = 1.0  # epoch: long past any lease timeout
+        os.utime(claim_path, (old, old))
+        executed = run_worker(workdir, worker_id="survivor", poll=0.01)
+        assert executed == load_workdir(workdir)[1]["batches"]
+
+    def test_lost_cache_prefill_is_rebuilt(
+        self, step_spec, sequential_result, tmp_path
+    ):
+        # results/cached.json holds tasks that exist in no queue batch; if
+        # it is corrupted after init, collect must rebuild it (from the
+        # cache) rather than fail coverage forever.
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        run_scenario(step_spec, workers=1, cache=cache)
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec, cache=cache)
+        cached_path = os.path.join(workdir, "results", "cached.json")
+        with open(cached_path, "w") as handle:
+            handle.write("{corrupt")
+        spec, results = collect_results(workdir, timeout=30, poll=0.01, cache=cache)
+        assert self._reduce(spec, results).cells == sequential_result.cells
+
+    def test_lost_cache_prefill_reexecutes_without_cache(
+        self, step_spec, sequential_result, tmp_path
+    ):
+        # Same scenario but the collector has no cache attached: the
+        # prefilled leaves are deterministic, so they are re-executed.
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        run_scenario(step_spec, workers=1, cache=cache)
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec, cache=cache)
+        os.unlink(os.path.join(workdir, "results", "cached.json"))
+        spec, results = collect_results(workdir, timeout=30, poll=0.01)
+        assert self._reduce(spec, results).cells == sequential_result.cells
+
+    def test_collect_timeout(self, step_spec, tmp_path):
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec)
+        with pytest.raises(TimeoutError):
+            collect_results(workdir, timeout=0.05, poll=0.01)
+
+    def test_stop_event_ends_worker_promptly(self, step_spec, tmp_path):
+        # The coordinate CLI sets this event when the collector gives up;
+        # the worker must return at the next batch boundary.
+        workdir = os.fspath(tmp_path / "wd")
+        init_workdir(workdir, step_spec)
+        stop = threading.Event()
+        stop.set()
+        assert run_worker(workdir, worker_id="w0", stop=stop) == 0
+
+    def test_cache_prefill_skips_queue(self, step_spec, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        run_scenario(step_spec, workers=1, cache=cache)
+        workdir = os.fspath(tmp_path / "wd")
+        meta = init_workdir(workdir, step_spec, cache=cache)
+        assert meta["batches"] == 0
+        assert meta["cached_tasks"] == len(schedule_tasks(step_spec))
+        spec, results = collect_results(workdir, timeout=5, poll=0.01)
+        assert len(results) == len(schedule_tasks(step_spec))

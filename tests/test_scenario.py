@@ -79,12 +79,31 @@ class TestScenarioSpecValidation:
             _minimal_spec(step_checkpoints=(4, 2))
 
     def test_granularity_accepted(self):
-        assert _minimal_spec().granularity == "cell"
+        assert _minimal_spec().granularity == "auto"
+        assert _minimal_spec(granularity="cell").granularity == "cell"
         assert _minimal_spec(granularity="case").granularity == "case"
 
     def test_invalid_granularity_rejected(self):
         with pytest.raises(ValueError):
             _minimal_spec(granularity="query")
+
+    def test_backend_accepted(self):
+        assert _minimal_spec().backend == "local"
+        assert _minimal_spec(backend="coordinator").backend == "coordinator"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            _minimal_spec(backend="cluster")
+
+    def test_from_json_defaults_for_old_payloads(self):
+        # Payloads written before the coordinator PR carry neither
+        # granularity nor backend; they must load with the old semantics.
+        data = _minimal_spec().to_json_dict()
+        del data["granularity"]
+        del data["backend"]
+        spec = ScenarioSpec.from_json_dict(data)
+        assert spec.granularity == "cell"
+        assert spec.backend == "local"
 
     def test_json_round_trip(self):
         spec = _minimal_spec(step_checkpoints=(2, 4), granularity="case")

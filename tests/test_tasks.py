@@ -23,6 +23,7 @@ from repro.bench.tasks import (
     execute_task,
     execute_tasks,
     load_shards,
+    resolve_granularity,
     run_shard,
     schedule_tasks,
     shard_tasks,
@@ -251,12 +252,68 @@ class TestMergeValidation:
     def test_non_shard_file_rejected(self, tmp_path):
         path = tmp_path / "junk.json"
         path.write_text('{"format": "something-else"}')
-        with pytest.raises(ValueError, match="not a repro-shard-v1"):
+        with pytest.raises(ValueError, match="not a repro-shard-v2"):
             load_shards([os.fspath(path)])
+
+    def test_tampered_spec_rejected_by_provenance_hash(self, step_spec, tmp_path):
+        # Editing the embedded spec after the run must be caught even though
+        # the file is otherwise self-consistent.
+        path = os.fspath(tmp_path / "tampered.json")
+        write_shard(path, step_spec, 0, 1, run_shard(step_spec, 0, 1))
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["spec"]["seed"] = payload["spec"]["seed"] + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="provenance hash mismatch"):
+            load_shards([path])
+
+    def test_missing_spec_hash_rejected(self, step_spec, tmp_path):
+        path = os.fspath(tmp_path / "nohash.json")
+        write_shard(path, step_spec, 0, 1, run_shard(step_spec, 0, 1))
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        del payload["spec_hash"]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="no spec provenance hash"):
+            load_shards([path])
 
     def test_empty_path_list_rejected(self):
         with pytest.raises(ValueError):
             load_shards([])
+
+
+class TestAutoGranularity:
+    """'auto' picks cell vs. case from the task-count/worker ratio."""
+
+    def test_explicit_granularities_pass_through(self, step_spec):
+        tasks = schedule_tasks(step_spec)
+        assert resolve_granularity("cell", tasks, 8) == "cell"
+        assert resolve_granularity("case", tasks, 1) == "case"
+
+    def test_auto_is_cell_for_sequential_runs(self, step_spec):
+        assert resolve_granularity("auto", schedule_tasks(step_spec), 1) == "cell"
+
+    def test_auto_switches_on_group_to_worker_ratio(self, step_spec):
+        # The smoke spec has two cells: plenty of groups for no one, so any
+        # multi-worker run should prefer within-cell parallelism.
+        tasks = schedule_tasks(step_spec)
+        assert resolve_granularity("auto", tasks, 2) == "case"
+        many_cells = dataclasses.replace(
+            step_spec, table_counts=tuple(range(4, 4 + 8))
+        )
+        wide = schedule_tasks(many_cells)  # 2 shapes x 8 sizes = 16 groups
+        assert resolve_granularity("auto", wide, 2) == "cell"
+        assert resolve_granularity("auto", wide, 8) == "case"
+
+    def test_unknown_granularity_rejected(self, step_spec):
+        with pytest.raises(ValueError):
+            resolve_granularity("query", schedule_tasks(step_spec), 2)
+
+    def test_auto_execution_matches_sequential(self, step_spec, sequential_result):
+        parallel = run_scenario(step_spec, workers=2, granularity="auto")
+        assert parallel.cells == sequential_result.cells
 
 
 class TestProvenance:
