@@ -35,6 +35,12 @@ lease-based backend (``backend="coordinator"``, 1 and 2 workers) plus a
 cold-vs-warm ``TaskCache`` run, verifies every mode agrees with the
 sequential result bit-for-bit, and writes ``BENCH_coordinator.json``.
 
+The *RMQ* section measures end-to-end RMQ iteration throughput on the
+10-table / 3-metric micro workload (compressed α schedule, the figure
+pipeline's configuration) under the ``object`` and ``arena`` plan engines,
+asserts the two frontiers are bit-identical, and writes ``BENCH_rmq.json``.
+The headline target is arena ≥ 5× object.
+
 Run as a script (``python benchmarks/bench_micro_pareto.py``) or via pytest
 (``pytest benchmarks/bench_micro_pareto.py``).
 """
@@ -57,6 +63,7 @@ RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pareto.json")
 FRONTIER_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_frontier.json")
 RUNNER_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_runner.json")
 COORDINATOR_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_coordinator.json")
+RMQ_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_rmq.json")
 
 NUM_VECTORS = 1000
 NUM_METRICS = 3
@@ -507,6 +514,119 @@ def test_coordinator_throughput_recorded():
     assert report["tasks_per_second"]["coordinator_1_worker"] > 0
 
 
+# ---------------------------------------------------------------------------
+# RMQ end-to-end throughput (object vs. arena plan engine)
+# ---------------------------------------------------------------------------
+#: The 10-table / 3-metric micro workload: one random chain query, RMQ with
+#: the compressed α schedule (what the figure pipeline runs), 400 iterations.
+RMQ_NUM_TABLES = 10
+RMQ_NUM_METRICS = 3
+RMQ_ITERATIONS = 400
+RMQ_TARGET_SPEEDUP = 5.0
+
+
+def _rmq_workload():
+    from repro.cost.model import MultiObjectiveCostModel
+    from repro.query.generator import QueryGenerator
+    from repro.query.join_graph import GraphShape
+
+    query = QueryGenerator(rng=random.Random(SEED)).generate(
+        RMQ_NUM_TABLES, GraphShape.CHAIN
+    )
+    return MultiObjectiveCostModel(query, metrics=("time", "buffer", "disk"))
+
+
+def _run_rmq(model, engine: str):
+    from repro.core.frontier import AlphaSchedule
+    from repro.core.rmq import RMQOptimizer
+
+    optimizer = RMQOptimizer(
+        model,
+        rng=random.Random(SEED + 1),
+        engine=engine,
+        schedule=AlphaSchedule.compressed(),
+    )
+    started = timeit.default_timer()
+    optimizer.run(max_steps=RMQ_ITERATIONS)
+    elapsed = timeit.default_timer() - started
+    frontier = sorted(plan.cost for plan in optimizer.frontier())
+    return elapsed, frontier, optimizer.statistics.plans_built
+
+
+def run_rmq_benchmark(write_json: bool = True) -> Dict[str, object]:
+    """Measure end-to-end RMQ iteration throughput per plan engine.
+
+    Both engines run the identical seeded workload; their frontiers (and
+    work counters) must be bit-identical, which is asserted before the
+    timing numbers are recorded.
+    """
+    model = _rmq_workload()
+    seconds: Dict[str, float] = {}
+    frontiers: Dict[str, list] = {}
+    plans_built: Dict[str, int] = {}
+    for engine in ("object", "arena"):
+        seconds[engine], frontiers[engine], plans_built[engine] = _run_rmq(
+            model, engine
+        )
+    assert frontiers["arena"] == frontiers["object"], (
+        "plan engines disagree on the RMQ frontier"
+    )
+    assert plans_built["arena"] == plans_built["object"], (
+        "plan engines disagree on the work counter"
+    )
+    report: Dict[str, object] = {
+        "num_tables": RMQ_NUM_TABLES,
+        "num_metrics": RMQ_NUM_METRICS,
+        "iterations": RMQ_ITERATIONS,
+        "schedule": "compressed",
+        "seed": SEED,
+        "frontier_size": len(frontiers["object"]),
+        "plans_built": plans_built["object"],
+        "seconds": seconds,
+        "iterations_per_second": {
+            engine: RMQ_ITERATIONS / elapsed for engine, elapsed in seconds.items()
+        },
+        "speedup_arena_vs_object": seconds["object"] / seconds["arena"],
+        "target_speedup": RMQ_TARGET_SPEEDUP,
+    }
+    if write_json:
+        with open(RMQ_RESULT_PATH, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def _format_rmq_report(report: Dict[str, object]) -> str:
+    rates = report["iterations_per_second"]
+    return "\n".join(
+        [
+            f"RMQ end-to-end throughput micro-benchmark "
+            f"({report['num_tables']} tables, {report['num_metrics']} metrics, "
+            f"{report['iterations']} iterations, compressed schedule):",
+            f"  object engine {rates['object']:8.2f} it/s",
+            f"  arena engine  {rates['arena']:8.2f} it/s "
+            f"({report['speedup_arena_vs_object']:.2f}x, "
+            f"target {report['target_speedup']:.0f}x)",
+            f"  frontier size {report['frontier_size']}, "
+            f"plans built {report['plans_built']} (bit-identical engines)",
+        ]
+    )
+
+
+def test_rmq_arena_speedup_recorded():
+    """The arena engine must clearly beat the object engine on RMQ.
+
+    The headline number (≥ 5× on this machine class) is recorded in
+    ``BENCH_rmq.json``; the assertion uses a lower bar so the check stays
+    robust on loaded CI runners.  Frontier bit-identity across engines is
+    asserted inside the benchmark.
+    """
+    report = run_rmq_benchmark()
+    print()
+    print(_format_rmq_report(report))
+    assert report["speedup_arena_vs_object"] > 2.5
+
+
 def main() -> int:
     report = run_benchmark()
     print(_format_report(report))
@@ -520,6 +640,9 @@ def main() -> int:
     coordinator_report = run_coordinator_benchmark()
     print(_format_coordinator_report(coordinator_report))
     print(f"[results written to {COORDINATOR_RESULT_PATH}]")
+    rmq_report = run_rmq_benchmark()
+    print(_format_rmq_report(rmq_report))
+    print(f"[results written to {RMQ_RESULT_PATH}]")
     return 0
 
 

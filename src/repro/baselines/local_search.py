@@ -11,11 +11,14 @@ transformation rules shared with RMQ.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.cost.model import PlanFactory
 from repro.plans.plan import JoinPlan, Plan
-from repro.plans.transformations import TransformationRules
+from repro.plans.transformations import ArenaTransformationRules, TransformationRules
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.cost.batch import BatchCostModel
 
 #: A path from the root to a node: a sequence of 'o' (outer) / 'i' (inner) steps.
 NodePath = Tuple[str, ...]
@@ -112,3 +115,86 @@ def all_neighbors(
                 continue
             neighbors.append(replace_at(plan, path, mutated, rules, factory))
     return neighbors
+
+
+# ---------------------------------------------------------------------------
+# Columnar-engine twins (arena handles instead of Plan objects)
+# ---------------------------------------------------------------------------
+def arena_node_paths(model: "BatchCostModel", handle: int) -> List[NodePath]:
+    """Paths to every node of a handle's plan tree (same order as objects)."""
+    arena = model.arena
+    paths: List[NodePath] = []
+
+    def visit(node: int, path: NodePath) -> None:
+        paths.append(path)
+        if arena.is_join(node):
+            visit(arena.outer(node), path + ("o",))
+            visit(arena.inner(node), path + ("i",))
+
+    visit(handle, ())
+    return paths
+
+
+def arena_node_at(model: "BatchCostModel", handle: int, path: NodePath) -> int:
+    """The handle reached by following ``path`` from the root."""
+    arena = model.arena
+    node = handle
+    for step in path:
+        if not arena.is_join(node):
+            raise ValueError(f"path {path} descends below a scan node")
+        node = arena.outer(node) if step == "o" else arena.inner(node)
+    return node
+
+
+def arena_replace_at(
+    model: "BatchCostModel",
+    handle: int,
+    path: NodePath,
+    replacement: int,
+    rules: ArenaTransformationRules,
+) -> int:
+    """Rebuild the spine from the replaced node to the root (handle twin)."""
+    if not path:
+        return replacement
+    arena = model.arena
+    if not arena.is_join(handle):
+        raise ValueError(f"path {path} descends below a scan node")
+    step, rest = path[0], path[1:]
+    if step == "o":
+        new_outer = arena_replace_at(model, arena.outer(handle), rest, replacement, rules)
+        return rules.rebuild_join(new_outer, arena.inner(handle), arena.op_code(handle))
+    new_inner = arena_replace_at(model, arena.inner(handle), rest, replacement, rules)
+    return rules.rebuild_join(arena.outer(handle), new_inner, arena.op_code(handle))
+
+
+def arena_random_neighbor(
+    model: "BatchCostModel",
+    handle: int,
+    rules: ArenaTransformationRules,
+    rng: random.Random,
+    max_attempts: int = 10,
+) -> Optional[int]:
+    """Handle twin of :func:`random_neighbor` with identical RNG consumption.
+
+    Only the chosen mutation is costed and realized; the other candidates of
+    the sampled node stay uncosted descriptions.
+    """
+    from repro.cost.batch import JoinSpec
+
+    paths = arena_node_paths(model, handle)
+    for _ in range(max_attempts):
+        path = rng.choice(paths)
+        node = arena_node_at(model, handle, path)
+        # mutations() always lists the node itself first; every other entry
+        # is structurally distinct, so dropping the head mirrors the object
+        # path's ``mutated is not node`` filter.
+        pending: List[JoinSpec] = []
+        mutations = rules.mutations(node, pending)[1:]
+        if not mutations:
+            continue
+        mutated = rng.choice(mutations)
+        if isinstance(mutated, JoinSpec):
+            model.cost_specs([mutated])
+            mutated = model.realize(mutated)
+        return arena_replace_at(model, handle, path, mutated, rules)
+    return None

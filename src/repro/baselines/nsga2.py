@@ -26,15 +26,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.core.interface import AnytimeOptimizer
+from repro.cost.batch import BatchCostModel
 from repro.cost.model import MultiObjectiveCostModel
 from repro.pareto.dominance import strictly_dominates
 from repro.pareto.engine import strictly_dominates_matrix
 from repro.pareto.frontier import ParetoFrontier
+from repro.plans.arena import resolve_plan_engine
 from repro.plans.plan import Plan
 
 Genome = Tuple[int, ...]
@@ -64,6 +66,22 @@ class Individual:
         return self.plan.cost
 
 
+@dataclass
+class ArenaIndividual:
+    """An individual of the columnar engine: an arena handle plus its cost.
+
+    Duck-compatible with :class:`Individual` everywhere the algorithm reads
+    it (``cost``, ``rank``, ``crowding``, ``genome``); ``plan`` holds the
+    arena handle instead of a ``Plan`` object.
+    """
+
+    genome: Genome
+    plan: int
+    cost: Tuple[float, ...]
+    rank: int = 0
+    crowding: float = 0.0
+
+
 class NSGA2Optimizer(AnytimeOptimizer):
     """NSGA-II over the ordinal plan encoding.
 
@@ -90,6 +108,7 @@ class NSGA2Optimizer(AnytimeOptimizer):
         population_size: int = 200,
         crossover_probability: float = 0.9,
         mutation_probability: float | None = None,
+        engine: str | None = None,
     ) -> None:
         super().__init__(cost_model)
         if population_size < 2:
@@ -97,6 +116,10 @@ class NSGA2Optimizer(AnytimeOptimizer):
         if not 0 <= crossover_probability <= 1:
             raise ValueError("crossover probability must be in [0, 1]")
         self._rng = rng if rng is not None else random.Random()
+        self._engine = resolve_plan_engine(engine)
+        self._batch_model = (
+            BatchCostModel(cost_model) if self._engine == "arena" else None
+        )
         self._population_size = population_size
         self._crossover_probability = crossover_probability
         num_tables = cost_model.query.num_tables
@@ -112,8 +135,18 @@ class NSGA2Optimizer(AnytimeOptimizer):
 
     # ------------------------------------------------------------ accessors
     @property
+    def engine(self) -> str:
+        """The plan engine in use (``"arena"`` or ``"object"``)."""
+        return self._engine
+
+    @property
     def population(self) -> List[Individual]:
-        """The current population (empty before the first step)."""
+        """The current population (empty before the first step).
+
+        Under the arena engine the entries are :class:`ArenaIndividual`
+        (``plan`` is an arena handle; ``cost``/``rank``/``crowding`` behave
+        identically).
+        """
         return list(self._population)
 
     @property
@@ -141,6 +174,11 @@ class NSGA2Optimizer(AnytimeOptimizer):
         if not self._population:
             return []
         front = [ind for ind in self._population if ind.rank == 0]
+        if self._batch_model is not None:
+            arena = self._batch_model.arena
+            unique_handles: ParetoFrontier[int] = ParetoFrontier(cost_of=arena.cost)
+            unique_handles.insert_all(ind.plan for ind in front)
+            return arena.to_plans(unique_handles.items())
         unique: ParetoFrontier[Plan] = ParetoFrontier(cost_of=lambda plan: plan.cost)
         unique.insert_all(ind.plan for ind in front)
         return unique.items()
@@ -168,8 +206,14 @@ class NSGA2Optimizer(AnytimeOptimizer):
             return 2
         return 1024
 
-    def decode(self, genome: Genome) -> Plan:
-        """Decode a genome into a plan (public for tests and analysis)."""
+    def _genome_layout(
+        self, genome: Genome
+    ) -> Tuple[List[int], Genome, Genome, Genome]:
+        """Split a genome into (table order, commute, scan, join genes).
+
+        The one place the chromosome layout is interpreted — both plan
+        engines decode through it, so the encodings cannot drift apart.
+        """
         num_tables = self.query.num_tables
         order_genes = genome[:num_tables]
         commute_genes = genome[num_tables : num_tables + max(0, num_tables - 1)]
@@ -177,12 +221,17 @@ class NSGA2Optimizer(AnytimeOptimizer):
             num_tables + max(0, num_tables - 1) : 2 * num_tables + max(0, num_tables - 1)
         ]
         join_genes = genome[2 * num_tables + max(0, num_tables - 1) :]
-
         remaining = list(range(num_tables))
         order: List[int] = []
         for gene in order_genes:
             order.append(remaining.pop(gene % len(remaining)))
+        return order, commute_genes, scan_genes, join_genes
 
+    def decode(self, genome: Genome) -> Plan:
+        """Decode a genome into a plan (public for tests and analysis)."""
+        if self._batch_model is not None:
+            return self._batch_model.arena.to_plan(self._decode_handle(genome))
+        order, commute_genes, scan_genes, join_genes = self._genome_layout(genome)
         factory = self.cost_model
         scan_ops = factory.scan_operators(order[0])
         plan: Plan = factory.make_scan(order[0], scan_ops[scan_genes[0] % len(scan_ops)])
@@ -200,7 +249,36 @@ class NSGA2Optimizer(AnytimeOptimizer):
             plan = factory.make_join(outer, inner, operator)
         return plan
 
+    def _decode_handle(self, genome: Genome) -> int:
+        """Decode a genome on the columnar engine (same plan, a handle)."""
+        order, commute_genes, scan_genes, join_genes = self._genome_layout(genome)
+        model = self._batch_model
+        assert model is not None
+        scan_codes = model.scan_codes(order[0])
+        plan = model.make_scan(order[0], scan_codes[scan_genes[0] % len(scan_codes)])
+        for position, table_index in enumerate(order[1:], start=1):
+            scan_codes = model.scan_codes(table_index)
+            scan = model.make_scan(
+                table_index, scan_codes[scan_genes[position] % len(scan_codes)]
+            )
+            if commute_genes[position - 1] % 2 == 0:
+                outer, inner = plan, scan
+            else:
+                outer, inner = scan, plan
+            join_codes = model.join_codes_for(inner)
+            plan = model.make_join(
+                outer, inner, join_codes[join_genes[position - 1] % len(join_codes)]
+            )
+        return plan
+
     def _make_individual(self, genome: Genome) -> Individual:
+        if self._batch_model is not None:
+            handle = self._decode_handle(genome)
+            arena = self._batch_model.arena
+            self.statistics.plans_built += arena.num_nodes(handle)
+            return ArenaIndividual(
+                genome=genome, plan=handle, cost=arena.cost(handle)
+            )
         plan = self.decode(genome)
         self.statistics.plans_built += plan.num_nodes
         return Individual(genome=genome, plan=plan)

@@ -20,14 +20,16 @@ import math
 import random
 from typing import List
 
-from repro.baselines.local_search import random_neighbor
+from repro.baselines.local_search import arena_random_neighbor, random_neighbor
 from repro.core.interface import AnytimeOptimizer
-from repro.core.random_plans import RandomPlanGenerator
+from repro.core.random_plans import ArenaRandomPlanGenerator, RandomPlanGenerator
+from repro.cost.batch import BatchCostModel
 from repro.cost.model import MultiObjectiveCostModel
 from repro.cost.vector import mean_relative_difference
 from repro.pareto.frontier import ParetoFrontier
+from repro.plans.arena import resolve_plan_engine
 from repro.plans.plan import Plan
-from repro.plans.transformations import TransformationRules
+from repro.plans.transformations import ArenaTransformationRules, TransformationRules
 
 
 class SimulatedAnnealingOptimizer(AnytimeOptimizer):
@@ -54,6 +56,12 @@ class SimulatedAnnealingOptimizer(AnytimeOptimizer):
     start_plan:
         Optional start plan (used by two-phase optimization); a random bushy
         plan is drawn when omitted.
+    engine:
+        Plan engine (see :mod:`repro.plans.arena`); results are identical,
+        only plan representation and speed differ.  A ``start_plan`` given
+        as a ``Plan`` object is interned into the arena under the arena
+        engine; an ``int`` start plan is taken as an arena handle of the
+        shared ``batch_model``.
     """
 
     name = "SA"
@@ -67,7 +75,9 @@ class SimulatedAnnealingOptimizer(AnytimeOptimizer):
         cooling_rate: float = 0.95,
         moves_per_stage: int | None = None,
         frozen_temperature: float = 1e-3,
-        start_plan: Plan | None = None,
+        start_plan: "Plan | int | None" = None,
+        engine: str | None = None,
+        batch_model: BatchCostModel | None = None,
     ) -> None:
         super().__init__(cost_model)
         if initial_temperature_factor <= 0:
@@ -76,7 +86,24 @@ class SimulatedAnnealingOptimizer(AnytimeOptimizer):
             raise ValueError("cooling rate must be in (0, 1)")
         self._rng = rng if rng is not None else random.Random()
         self._rules = rules if rules is not None else TransformationRules()
-        self._generator = RandomPlanGenerator(cost_model, self._rng)
+        self._engine = resolve_plan_engine(engine)
+        if self._engine == "arena":
+            self._batch_model = (
+                batch_model if batch_model is not None else BatchCostModel(cost_model)
+            )
+            arena = self._batch_model.arena
+            self._arena_rules = ArenaTransformationRules(
+                self._batch_model, self._rules
+            )
+            self._generator = ArenaRandomPlanGenerator(self._batch_model, self._rng)
+            self._archive = ParetoFrontier(cost_of=arena.cost)
+            self._num_nodes = arena.num_nodes
+        else:
+            self._batch_model = None
+            self._arena_rules = None
+            self._generator = RandomPlanGenerator(cost_model, self._rng)
+            self._archive = ParetoFrontier(cost_of=lambda plan: plan.cost)
+            self._num_nodes = lambda plan: plan.num_nodes
         self._initial_temperature = initial_temperature_factor
         self._cooling_rate = cooling_rate
         self._moves_per_stage = (
@@ -85,13 +112,31 @@ class SimulatedAnnealingOptimizer(AnytimeOptimizer):
             else max(4, 2 * cost_model.query.num_tables)
         )
         self._frozen_temperature = frozen_temperature
-        self._archive: ParetoFrontier[Plan] = ParetoFrontier(cost_of=lambda plan: plan.cost)
-        self._current = start_plan
+        # ``_current_object`` caches the Plan-object view of the current
+        # handle so that :attr:`current_plan` is stable between calls (and
+        # returns the exact object a caller seeded the annealer with).
+        self._current_object: Plan | None = None
+        if start_plan is not None and self._engine == "arena":
+            if isinstance(start_plan, int):
+                # Already an arena handle (a caller sharing ``batch_model``,
+                # e.g. two-phase optimization).
+                self._current = start_plan
+            else:
+                self._current = self._batch_model.intern_plan(start_plan)
+                self._current_object = start_plan
+        else:
+            self._current = start_plan
+            self._current_object = start_plan
         self._temperature = self._initial_temperature
         if self._current is not None:
             self._archive.insert(self._current)
 
     # ------------------------------------------------------------ accessors
+    @property
+    def engine(self) -> str:
+        """The plan engine in use (``"arena"`` or ``"object"``)."""
+        return self._engine
+
     @property
     def temperature(self) -> float:
         """Current annealing temperature."""
@@ -100,7 +145,13 @@ class SimulatedAnnealingOptimizer(AnytimeOptimizer):
     @property
     def current_plan(self) -> Plan | None:
         """The plan the annealer is currently at (None before the first step)."""
-        return self._current
+        if self._engine != "arena":
+            return self._current
+        if self._current is None:
+            return None
+        if self._current_object is None:
+            self._current_object = self._batch_model.arena.to_plan(self._current)
+        return self._current_object
 
     # ------------------------------------------------------------- protocol
     def step(self) -> None:
@@ -114,24 +165,46 @@ class SimulatedAnnealingOptimizer(AnytimeOptimizer):
 
     def frontier(self) -> List[Plan]:
         """Non-dominated set of all complete plans visited so far."""
+        if self._engine == "arena":
+            return self._batch_model.arena.to_plans(self._archive.items())
+        return self._archive.items()
+
+    def frontier_refs(self) -> list:
+        """The frontier as engine-native items (see ``II.frontier_refs``)."""
         return self._archive.items()
 
     # ------------------------------------------------------------ internals
     def _restart(self) -> None:
         self._current = self._generator.random_bushy_plan()
+        self._current_object = None
         self._archive.insert(self._current)
         self._temperature = self._initial_temperature
-        self.statistics.plans_built += self._current.num_nodes
+        self.statistics.plans_built += self._num_nodes(self._current)
+
+    def _cost_of(self, plan):
+        if self._engine == "arena":
+            return self._batch_model.arena.cost(plan)
+        return plan.cost
 
     def _one_move(self) -> None:
         assert self._current is not None
-        neighbor = random_neighbor(self._current, self._rules, self.cost_model, self._rng)
+        if self._engine == "arena":
+            neighbor = arena_random_neighbor(
+                self._batch_model, self._current, self._arena_rules, self._rng
+            )
+        else:
+            neighbor = random_neighbor(
+                self._current, self._rules, self.cost_model, self._rng
+            )
         if neighbor is None:
             return
         self.statistics.plans_built += 1
-        delta = mean_relative_difference(neighbor.cost, self._current.cost)
+        delta = mean_relative_difference(
+            self._cost_of(neighbor), self._cost_of(self._current)
+        )
         if delta <= 0 or self._accept_uphill(delta):
             self._current = neighbor
+            self._current_object = None
             self._archive.insert(neighbor)
 
     def _accept_uphill(self, delta: float) -> bool:

@@ -115,6 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help=(
+            "size cap for --cache-dir in megabytes: least-recently-used "
+            "entries are evicted when a write exceeds the cap (default: "
+            "unbounded, append-only)"
+        ),
+    )
+    parser.add_argument(
         "--steps",
         action="store_true",
         help=(
@@ -203,6 +213,12 @@ def build_coordinate_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=str, default=None, help="task-result cache directory"
     )
     parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help="size cap for --cache-dir in megabytes (LRU; default unbounded)",
+    )
+    parser.add_argument(
         "--lease-timeout",
         type=float,
         default=300.0,
@@ -246,6 +262,18 @@ def build_work_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cache_cap_bytes(args: argparse.Namespace) -> int | None:
+    """Translate ``--cache-max-mb`` into bytes (``None``: append-only)."""
+    max_mb = getattr(args, "cache_max_mb", None)
+    if max_mb is None:
+        return None
+    if getattr(args, "cache_dir", None) is None:
+        raise SystemExit("--cache-max-mb requires --cache-dir")
+    if max_mb <= 0:
+        raise SystemExit("--cache-max-mb must be positive")
+    return int(max_mb * 1024 * 1024)
+
+
 def _resolve_figure_spec(args: argparse.Namespace) -> ScenarioSpec:
     """Build the scenario spec selected by figure/scale/steps/seed flags."""
     spec_map = figures.STEP_FIGURE_SPECS if args.steps else figures.FIGURE_SPECS
@@ -263,7 +291,10 @@ def _run_coordinate(argv: Sequence[str]) -> str:
     if args.workers < 0:
         raise SystemExit("--workers must be at least 0")
     spec = _resolve_figure_spec(args)
-    cache = TaskCache(args.cache_dir) if args.cache_dir else None
+    cache_cap = _cache_cap_bytes(args)  # validates --cache-max-mb usage
+    cache = (
+        TaskCache(args.cache_dir, max_bytes=cache_cap) if args.cache_dir else None
+    )
     meta = init_workdir(
         args.dir,
         spec,
@@ -401,10 +432,11 @@ def run(argv: Sequence[str] | None = None) -> str:
     if args.backend is not None:
         spec = dataclasses.replace(spec, backend=args.backend)
     cache = None
+    cache_cap = _cache_cap_bytes(args)  # validates --cache-max-mb usage
     if args.cache_dir is not None:
         from repro.dist.cache import TaskCache
 
-        cache = TaskCache(args.cache_dir)
+        cache = TaskCache(args.cache_dir, max_bytes=cache_cap)
 
     if args.shard is not None:
         # Shard runs execute a static subset on the local path; the dynamic

@@ -16,11 +16,14 @@ many join orders quickly, finer later to exploit the discovered join orders.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.cost.model import PlanFactory
-from repro.core.plan_cache import PlanCache
+from repro.core.plan_cache import ArenaPlanCache, PlanCache
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+    from repro.cost.batch import BatchCostModel
 
 
 @dataclass(frozen=True)
@@ -154,6 +157,71 @@ class FrontierApproximator:
                 cache.insert(candidate, alpha)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown plan type: {type(plan)!r}")
+
+
+class ArenaFrontierApproximator:
+    """``ApproximateFrontiers`` on the columnar engine (handles, not objects).
+
+    The structure mirrors :class:`FrontierApproximator` exactly — post-order
+    walk of the locally optimal plan, scans inserted per operator, join
+    frontiers combined bottom-up — but the combination step costs the whole
+    ``|outer frontier| × |inner frontier| × |join operators|`` cross product
+    with one :meth:`~repro.cost.batch.BatchCostModel.join_candidates` call
+    and inserts it through the cache's batched pre-filter.  Frontier
+    contents, insertion order, and the ``plans_built`` counter are identical
+    to the object path.
+    """
+
+    def __init__(
+        self,
+        model: "BatchCostModel",
+        schedule: AlphaSchedule | None = None,
+    ) -> None:
+        self._model = model
+        self._arena = model.arena
+        self._schedule = schedule if schedule is not None else AlphaSchedule.paper()
+        self._plans_built = 0
+
+    @property
+    def schedule(self) -> AlphaSchedule:
+        """The α schedule in use."""
+        return self._schedule
+
+    @property
+    def plans_built(self) -> int:
+        """Number of candidate plans costed so far."""
+        return self._plans_built
+
+    # ------------------------------------------------------------ algorithm
+    def approximate(
+        self, handle: int, cache: ArenaPlanCache, iteration: int
+    ) -> ArenaPlanCache:
+        """Run ``ApproximateFrontiers`` for one locally optimal plan handle."""
+        alpha = self._schedule.alpha(iteration)
+        self._approximate_node(handle, cache, alpha)
+        return cache
+
+    def _approximate_node(
+        self, handle: int, cache: ArenaPlanCache, alpha: float
+    ) -> None:
+        arena = self._arena
+        if arena.is_join(handle):
+            outer, inner = arena.outer(handle), arena.inner(handle)
+            self._approximate_node(outer, cache, alpha)
+            self._approximate_node(inner, cache, alpha)
+            outer_handles = cache.handles(arena.rel(outer))
+            inner_handles = cache.handles(arena.rel(inner))
+            batch = self._model.join_candidates(outer_handles, inner_handles)
+            self._plans_built += batch.size
+            cache.insert_candidates(
+                arena.rel(handle), batch, outer_handles, inner_handles, alpha
+            )
+        else:
+            table_index = arena.table_index(handle)
+            for op_code in self._model.scan_codes(table_index):
+                candidate = self._model.make_scan(table_index, op_code)
+                self._plans_built += 1
+                cache.insert(candidate, alpha)
 
 
 #: Type of α-schedule callables accepted where a full schedule object is not

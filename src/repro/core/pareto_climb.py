@@ -28,7 +28,7 @@ format") and the complexity analysis (Lemma 2), which assumes each
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.cost.model import PlanFactory
 from repro.pareto.dominance import strictly_dominates
@@ -36,7 +36,10 @@ from repro.pareto.engine import SMALL_SET_SIZE, as_cost_matrix, dominance_fold
 from repro.pareto.store import resolve_store_policy, sorted_dominance_fold
 from repro.plans.operators import DataFormat
 from repro.plans.plan import JoinPlan, Plan
-from repro.plans.transformations import TransformationRules
+from repro.plans.transformations import ArenaTransformationRules, TransformationRules
+
+if TYPE_CHECKING:  # pragma: no cover - imports for type checking only
+    from repro.cost.batch import BatchCostModel, JoinSpec, PlanRef
 
 
 @dataclass(frozen=True)
@@ -192,4 +195,161 @@ class ParetoClimber:
                 if strictly_dominates(candidate.cost, incumbent.cost):
                     incumbent = candidate
             best[output_format] = incumbent
+        return best
+
+
+class ArenaParetoClimber:
+    """Multi-objective hill climbing on the columnar engine.
+
+    The algorithm is :class:`ParetoClimber`'s, move for move; the difference
+    is purely mechanical.  A ``ParetoStep`` node first *describes* its whole
+    neighborhood as uncosted :class:`~repro.cost.batch.JoinSpec` candidates
+    (via :class:`~repro.plans.transformations.ArenaTransformationRules`),
+    then costs them in one batched
+    :meth:`~repro.cost.batch.BatchCostModel.cost_specs` call and prunes per
+    output format.  Only the per-format winners are realized into arena
+    nodes, so a climb allocates a handful of rows per step instead of one
+    ``Plan`` tree per candidate.
+
+    ``ParetoStep`` is a pure function of the (hash-consed) plan handle, so
+    its result is memoized per handle: successive climb steps share every
+    sub-tree that did not change, and repeated encounters of the same
+    sub-plan across iterations are dictionary hits.  The work counter is
+    charged as if the sub-tree had been re-derived (each memo entry records
+    its sub-tree's candidate count), so ``plans_built`` matches the object
+    climber exactly.
+
+    Selected plans, path lengths, and the ``plans_built`` counter are
+    identical to the object climber (``tests/test_arena.py``).
+    """
+
+    def __init__(
+        self,
+        model: "BatchCostModel",
+        rules: TransformationRules | None = None,
+        max_steps: int = 10_000,
+        store: str | None = None,
+    ) -> None:
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be positive, got {max_steps}")
+        self._model = model
+        self._arena = model.arena
+        self._rules = ArenaTransformationRules(model, rules)
+        self._max_steps = max_steps
+        self._store_policy = resolve_store_policy(store)
+        self._plans_built = 0
+        # handle -> (winners per format, candidate count of the whole
+        # recursion), see the class docstring.
+        self._step_memo: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------ ParetoStep
+    def pareto_step(self, handle: int) -> Dict[int, int]:
+        """One parallel transformation step; maps format codes to handles."""
+        cached = self._step_memo.get(handle)
+        if cached is not None:
+            winners, subtree_candidates = cached
+            self._plans_built += subtree_candidates
+            return winners
+        built_before = self._plans_built
+        winners = self._pareto_step_uncached(handle)
+        self._step_memo[handle] = (winners, self._plans_built - built_before)
+        return winners
+
+    def _pareto_step_uncached(self, handle: int) -> Dict[int, int]:
+        arena = self._arena
+        if not arena.is_join(handle):
+            candidates: "List[PlanRef]" = self._rules.mutations(handle, [])
+            self._plans_built += len(candidates)
+            return self._prune_per_format(candidates)
+        outer_pareto = self.pareto_step(arena.outer(handle))
+        inner_pareto = self.pareto_step(arena.inner(handle))
+        pending: "List[JoinSpec]" = []
+        candidates = []
+        original_outer = arena.outer(handle)
+        original_inner = arena.inner(handle)
+        root_code = arena.op_code(handle)
+        for outer in outer_pareto.values():
+            for inner in inner_pareto.values():
+                if outer == original_outer and inner == original_inner:
+                    rebuilt = handle
+                else:
+                    rebuilt = self._rules.rebuild_join(outer, inner, root_code)
+                candidates.extend(self._rules.mutations(rebuilt, pending))
+        self._plans_built += len(candidates)
+        self._model.cost_specs(pending)
+        return self._prune_per_format(candidates)
+
+    # ----------------------------------------------------------- ParetoClimb
+    def climb(self, handle: int) -> ClimbResult:
+        """Climb from ``handle`` until no neighbor strictly dominates it."""
+        built_before = self._plans_built
+        arena = self._arena
+        current = handle
+        path_length = 0
+        improving = True
+        while improving and path_length < self._max_steps:
+            improving = False
+            mutations = self.pareto_step(current)
+            for mutated in mutations.values():
+                if strictly_dominates(arena.cost(mutated), arena.cost(current)):
+                    current = mutated
+                    path_length += 1
+                    improving = True
+                    break
+        return ClimbResult(
+            plan=current,
+            path_length=path_length,
+            plans_built=self._plans_built - built_before,
+        )
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def plans_built(self) -> int:
+        """Total number of candidate plans costed by this climber."""
+        return self._plans_built
+
+    @property
+    def store_policy(self) -> str:
+        """Frontier-store policy used for large-group pruning."""
+        return self._store_policy
+
+    # ------------------------------------------------------------- internals
+    def _cost_of(self, ref: "PlanRef"):
+        if isinstance(ref, int):
+            return self._arena.cost(ref)
+        assert ref.cost is not None
+        return ref.cost
+
+    def _prune_per_format(self, candidates: "List[PlanRef]") -> Dict[int, int]:
+        """Keep one non-dominated candidate per output format (see object twin).
+
+        Winners are realized into arena handles; losing candidates never
+        touch the arena.
+        """
+        fold = dominance_fold if self._store_policy == "flat" else sorted_dominance_fold
+        model = self._model
+        arena = self._arena
+        op_list = arena.op_code_list
+        fmt_of_op = arena.format_code_by_op
+        groups: "Dict[int, List[PlanRef]]" = {}
+        for candidate in candidates:
+            if type(candidate) is int:
+                code = fmt_of_op[op_list[candidate]]
+            else:
+                code = fmt_of_op[candidate.op_code]
+            groups.setdefault(code, []).append(candidate)
+        best: Dict[int, int] = {}
+        for format_code, group in groups.items():
+            if len(group) > SMALL_SET_SIZE:
+                costs = as_cost_matrix([self._cost_of(ref) for ref in group])
+                best[format_code] = model.realize(group[fold(costs)])
+                continue
+            incumbent = group[0]
+            incumbent_cost = self._cost_of(incumbent)
+            for candidate in group[1:]:
+                candidate_cost = self._cost_of(candidate)
+                if strictly_dominates(candidate_cost, incumbent_cost):
+                    incumbent = candidate
+                    incumbent_cost = candidate_cost
+            best[format_code] = model.realize(incumbent)
         return best

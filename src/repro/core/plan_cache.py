@@ -23,11 +23,20 @@ iteration order — is identical to the original pure-Python implementation.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.pareto.dominance import approx_dominates, dominates
-from repro.pareto.engine import ParetoSet
+from repro.pareto.engine import (
+    ParetoSet,
+    approx_dominates_matrix,
+    batch_insert_masks,
+)
 from repro.plans.plan import Plan
+
+if TYPE_CHECKING:  # pragma: no cover - imports for type checking only
+    from repro.cost.batch import BatchCostModel, CandidateBatch
 
 
 class PlanCache:
@@ -149,3 +158,268 @@ class PlanCache:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PlanCache(table_sets={len(self)}, total_plans={self.total_plans})"
+
+
+#: Minimum batch size for which the batched cache insertion runs the
+#: vectorized covered-by-frontier pre-filter (below it, per-row insertion is
+#: cheaper than the kernel dispatch; the decisions are identical).
+_PREFILTER_MIN_BATCH = 8
+
+
+class _ArenaEntry:
+    """One intermediate result's frontier: handles, tags, and cost rows."""
+
+    __slots__ = ("handles", "tags", "rows")
+
+    def __init__(self, num_metrics: int) -> None:
+        self.handles: List[int] = []
+        self.tags: List[int] = []
+        self.rows = np.empty((0, num_metrics), dtype=np.float64)
+
+
+class ArenaPlanCache:
+    """The partial-plan cache of the columnar engine: handles, not objects.
+
+    Mirrors :class:`PlanCache` decision for decision — same ``SigBetter``
+    rule, same insertion order, same eviction bookkeeping — but each cached
+    plan is a :class:`~repro.plans.arena.PlanArena` handle, each entry keeps
+    its cost rows as a contiguous matrix, and whole candidate batches (the
+    cross product of two sub-plan frontiers × join operators) are inserted
+    through vectorized kernels:
+
+    * with **α = 1** rows of different output formats never interact, so the
+      batch decomposes per format tag into independent
+      :func:`~repro.pareto.engine.batch_insert_masks` calls — one kernel
+      pass per tag for the whole batch;
+    * with **α > 1** candidates α-dominated by the *pre-batch* frontier are
+      rejected in one kernel pass per tag — sound because eviction requires
+      exact dominance, and exact dominance composed with α-dominance is
+      still α-dominance (the covering row may be evicted mid-batch, but
+      only by a row that also covers the candidate) — and only the
+      surviving minority runs through sequential insertion against the
+      evolving frontier.
+
+    Every accept/evict decision, and the resulting frontier order, equals
+    the scalar path's.  Only accepted candidates are realized into arena
+    nodes.  ``store`` is accepted for interface parity with
+    :class:`PlanCache` but ignored: the batch kernels play the role the
+    indexed frontier stores play on the object path.
+    """
+
+    def __init__(self, model: "BatchCostModel", store: str | None = None) -> None:
+        del store  # interface parity; see the class docstring
+        self._model = model
+        self._arena = model.arena
+        self._num_metrics = model.num_metrics
+        self._entries: Dict[FrozenSet[int], _ArenaEntry] = {}
+
+    # ------------------------------------------------------------ accessors
+    def handles(self, relations: FrozenSet[int] | Iterable[int]) -> List[int]:
+        """Cached plan handles joining exactly the given table set."""
+        entry = self._entries.get(frozenset(relations))
+        return list(entry.handles) if entry is not None else []
+
+    def plans(self, relations: FrozenSet[int] | Iterable[int]) -> List[Plan]:
+        """Cached plans for one table set, materialized as ``Plan`` objects."""
+        entry = self._entries.get(frozenset(relations))
+        if entry is None:
+            return []
+        return self._arena.to_plans(entry.handles)
+
+    def table_sets(self) -> List[FrozenSet[int]]:
+        """All intermediate results that currently have cached plans."""
+        return list(self._entries)
+
+    def __contains__(self, relations: object) -> bool:
+        if not isinstance(relations, (frozenset, set)):
+            return False
+        return frozenset(relations) in self._entries
+
+    def __len__(self) -> int:
+        """Number of cached intermediate results."""
+        return len(self._entries)
+
+    @property
+    def total_plans(self) -> int:
+        """Total number of cached partial plans over all intermediate results."""
+        return sum(len(entry.handles) for entry in self._entries.values())
+
+    def size_of(self, relations: FrozenSet[int] | Iterable[int]) -> int:
+        """Number of cached plans for one intermediate result."""
+        entry = self._entries.get(frozenset(relations))
+        return len(entry.handles) if entry is not None else 0
+
+    def frontier_costs(
+        self, relations: FrozenSet[int] | Iterable[int]
+    ) -> List[Tuple[float, ...]]:
+        """Cost vectors of the cached plans for one intermediate result."""
+        entry = self._entries.get(frozenset(relations))
+        if entry is None:
+            return []
+        return [self._arena.cost(handle) for handle in entry.handles]
+
+    # -------------------------------------------------------------- updates
+    def _entry(self, key: FrozenSet[int]) -> _ArenaEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _ArenaEntry(self._num_metrics)
+            self._entries[key] = entry
+        return entry
+
+    def insert(self, handle: int, alpha: float = 1.0) -> bool:
+        """Insert one plan handle under Algorithm 3's pruning rule."""
+        if alpha < 1.0:
+            raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+        entry = self._entry(self._arena.rel(handle))
+        tag = self._arena.format_code(handle)
+        row = np.asarray(self._arena.cost(handle), dtype=np.float64)
+        if self._covered(entry, tag, row, alpha):
+            return False
+        self._append_row(entry, handle, tag, row)
+        return True
+
+    def insert_all(self, plan_handles: Iterable[int], alpha: float = 1.0) -> int:
+        """Insert several handles; returns how many were kept."""
+        return sum(1 for handle in plan_handles if self.insert(handle, alpha))
+
+    def insert_candidates(
+        self,
+        relations: FrozenSet[int],
+        batch: "CandidateBatch",
+        outer_handles: Sequence[int],
+        inner_handles: Sequence[int],
+        alpha: float,
+    ) -> int:
+        """Insert a costed cross-product batch; returns the accepted count.
+
+        Decisions are identical to inserting the batch rows one by one in
+        order (the scalar path); accepted rows are realized into arena nodes
+        on the spot.
+        """
+        if alpha < 1.0:
+            raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+        size = batch.size
+        if size == 0:
+            return 0
+        entry = self._entry(relations)
+        if alpha == 1.0 and size >= _PREFILTER_MIN_BATCH:
+            return self._insert_batch_exact(entry, batch, outer_handles, inner_handles)
+        survivors = self._prefilter(entry, batch, alpha)
+        accepted_count = 0
+        model = self._model
+        for position in survivors:
+            row = batch.costs[position]
+            tag = int(batch.tags[position])
+            if self._covered(entry, tag, row, alpha):
+                continue
+            handle = model.realize_candidate(
+                batch, position, outer_handles, inner_handles
+            )
+            self._append_row(entry, handle, tag, row)
+            accepted_count += 1
+        return accepted_count
+
+    @staticmethod
+    def _covered(entry: _ArenaEntry, tag: int, row: np.ndarray, alpha: float) -> bool:
+        """Whether a same-tag entry row α-dominates ``row`` (``SigBetter``)."""
+        if not entry.handles:
+            return False
+        tag_match = np.asarray(entry.tags, dtype=np.int64) == tag
+        covered = tag_match & np.all(entry.rows <= alpha * row, axis=1)
+        return bool(covered.any())
+
+    @staticmethod
+    def _append_row(
+        entry: _ArenaEntry, handle: int, tag: int, row: np.ndarray
+    ) -> None:
+        """Append an accepted row, evicting same-tag rows it dominates."""
+        if entry.handles:
+            tag_match = np.asarray(entry.tags, dtype=np.int64) == tag
+            evicted = tag_match & np.all(row <= entry.rows, axis=1)
+            if evicted.any():
+                keep = ~evicted
+                entry.rows = entry.rows[keep]
+                kept_positions = np.flatnonzero(keep).tolist()
+                entry.handles = [entry.handles[k] for k in kept_positions]
+                entry.tags = [entry.tags[k] for k in kept_positions]
+        entry.rows = np.concatenate([entry.rows, row[None, :]])
+        entry.handles.append(handle)
+        entry.tags.append(tag)
+
+    def _insert_batch_exact(
+        self,
+        entry: _ArenaEntry,
+        batch: "CandidateBatch",
+        outer_handles: Sequence[int],
+        inner_handles: Sequence[int],
+    ) -> int:
+        """Whole-batch insertion at α = 1, decomposed per format tag.
+
+        Rows only ever reject or evict rows of their own tag, so sequential
+        insertion splits into independent per-tag processes; each runs as
+        one :func:`batch_insert_masks` kernel call.  The final entry order —
+        surviving existing rows first (original order), then kept batch rows
+        (batch order) — matches sequential insertion, which always appends
+        at the end.
+        """
+        size = batch.size
+        existing_size = entry.rows.shape[0]
+        existing_tags = np.asarray(entry.tags, dtype=np.int64)
+        surviving = np.ones(existing_size, dtype=bool)
+        kept = np.zeros(size, dtype=bool)
+        accepted_count = 0
+        for tag in np.unique(batch.tags).tolist():
+            batch_mask = batch.tags == tag
+            existing_mask = existing_tags == tag
+            accepted_sub, kept_sub, surviving_sub = batch_insert_masks(
+                entry.rows[existing_mask], batch.costs[batch_mask]
+            )
+            accepted_count += int(accepted_sub.sum())
+            kept[np.flatnonzero(batch_mask)[kept_sub]] = True
+            surviving[np.flatnonzero(existing_mask)[~surviving_sub]] = False
+        kept_positions = np.flatnonzero(kept).tolist()
+        model = self._model
+        new_handles = [
+            model.realize_candidate(batch, position, outer_handles, inner_handles)
+            for position in kept_positions
+        ]
+        surviving_positions = np.flatnonzero(surviving).tolist()
+        entry.handles = [
+            entry.handles[k] for k in surviving_positions
+        ] + new_handles
+        entry.tags = [entry.tags[k] for k in surviving_positions] + [
+            int(batch.tags[position]) for position in kept_positions
+        ]
+        entry.rows = np.concatenate(
+            [entry.rows[surviving], batch.costs[kept]]
+        )
+        return accepted_count
+
+    def _prefilter(
+        self, entry: _ArenaEntry, batch: "CandidateBatch", alpha: float
+    ) -> List[int]:
+        """Positions of batch rows *not* α-covered by the pre-batch frontier."""
+        size = batch.size
+        if not entry.handles or size < _PREFILTER_MIN_BATCH:
+            return list(range(size))
+        frontier_tags = np.asarray(entry.tags, dtype=np.int64)
+        covered = np.zeros(size, dtype=bool)
+        for tag in np.unique(batch.tags).tolist():
+            frontier_mask = frontier_tags == tag
+            if not frontier_mask.any():
+                continue
+            batch_mask = batch.tags == tag
+            covered[batch_mask] = approx_dominates_matrix(
+                entry.rows[frontier_mask], batch.costs[batch_mask], alpha
+            ).any(axis=0)
+        return np.flatnonzero(~covered).tolist()
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArenaPlanCache(table_sets={len(self)}, total_plans={self.total_plans})"
+        )
+

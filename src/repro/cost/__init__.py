@@ -14,6 +14,7 @@ multi-objective principle of optimality that Algorithm 2 exploits: improving
 a sub-plan's cost vector can never worsen the cost vector of the full plan.
 """
 
+from repro.cost.batch import BatchCostModel
 from repro.cost.cardinality import CardinalityEstimator
 from repro.cost.metrics import (
     BufferMetric,
@@ -34,6 +35,7 @@ from repro.cost.vector import (
 )
 
 __all__ = [
+    "BatchCostModel",
     "CardinalityEstimator",
     "CostMetric",
     "TimeMetric",

@@ -30,6 +30,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Tuple, Type
 
+import numpy as np
+
 from repro.plans.operators import (
     DataFormat,
     JoinAlgorithm,
@@ -82,6 +84,17 @@ class CostMetric:
     Sub-classes implement the per-node contribution functions.  All
     contributions must be non-negative so that total plan cost is monotone in
     its sub-plan costs.
+
+    A join node's contribution only depends on the *cardinalities* of its
+    inputs, never on their structure, so every metric exposes three layers:
+
+    * :meth:`join_cost` — object layer, reads ``outer.cardinality`` /
+      ``inner.cardinality`` and delegates;
+    * :meth:`join_cost_cards` — scalar kernel on plain floats (what the plan
+      arena uses for one-off nodes);
+    * :meth:`join_cost_batch` — vectorized kernel on NumPy arrays for one
+      fixed operator, **bit-identical** to calling :meth:`join_cost_cards`
+      element by element (pinned by ``tests/test_arena.py``).
     """
 
     #: Short machine-readable metric name (used in reports and metric selection).
@@ -106,15 +119,59 @@ class CostMetric:
         config: CostModelConfig,
     ) -> float:
         """Cost contribution of a join node (excluding its children)."""
+        return self.join_cost_cards(
+            outer.cardinality, inner.cardinality, operator, output_cardinality, config
+        )
+
+    def join_cost_cards(
+        self,
+        outer_cardinality: float,
+        inner_cardinality: float,
+        operator: JoinOperator,
+        output_cardinality: float,
+        config: CostModelConfig,
+    ) -> float:
+        """Join contribution from input/output cardinalities (scalar kernel)."""
         raise NotImplementedError
+
+    def join_cost_batch(
+        self,
+        outer_cardinalities: np.ndarray,
+        inner_cardinalities: np.ndarray,
+        operator: JoinOperator,
+        output_cardinalities: np.ndarray,
+        config: CostModelConfig,
+        pages: "Tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        """Vectorized join contributions for one operator over many pairs.
+
+        ``pages`` optionally carries precomputed ``(outer, inner, output)``
+        page counts so that several metrics costing the same batch share
+        them.  The default implementation falls back to the scalar kernel
+        per element, so custom metrics stay correct (if slow) under the
+        batch engine; the built-in metrics override it with array formulas
+        that perform the exact same IEEE-754 operations.
+        """
+        del pages
+        return np.asarray(
+            [
+                self.join_cost_cards(
+                    float(outer), float(inner), operator, float(output), config
+                )
+                for outer, inner, output in zip(
+                    outer_cardinalities, inner_cardinalities, output_cardinalities
+                )
+            ],
+            dtype=np.float64,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
 
 def _sequential_join_time(
-    outer: Plan,
-    inner: Plan,
+    outer_cardinality: float,
+    inner_cardinality: float,
     operator: JoinOperator,
     output_cardinality: float,
     config: CostModelConfig,
@@ -124,8 +181,8 @@ def _sequential_join_time(
     Shared by the time, monetary and energy metrics (which scale it
     differently with the parallelism degree).
     """
-    outer_pages = config.pages(outer.cardinality)
-    inner_pages = config.pages(inner.cardinality)
+    outer_pages = config.pages(outer_cardinality)
+    inner_pages = config.pages(inner_cardinality)
     output_pages = config.pages(output_cardinality)
     cpu = config.cpu_cost_per_row * output_cardinality
 
@@ -147,7 +204,7 @@ def _sequential_join_time(
         io = outer_pages + blocks * inner_pages
     elif operator.algorithm is JoinAlgorithm.NESTED_LOOP:
         # Tuple-at-a-time nested loop: one inner scan per outer row.
-        io = outer_pages + outer.cardinality * inner_pages
+        io = outer_pages + outer_cardinality * inner_pages
     else:  # pragma: no cover - defensive, enum is exhaustive
         raise ValueError(f"unknown join algorithm: {operator.algorithm}")
 
@@ -165,6 +222,91 @@ def _external_sort_cost(pages: float, memory_pages: float) -> float:
     fan_in = max(2.0, memory_pages - 1.0)
     merge_passes = max(1.0, math.ceil(math.log(runs, fan_in)))
     return 2.0 * pages * (1.0 + merge_passes)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels (one fixed operator, arrays of cardinalities)
+# ---------------------------------------------------------------------------
+# Every array formula below performs the same IEEE-754 double operations, in
+# the same order and association, as its scalar twin above, so batch and
+# scalar costing agree bit for bit.  Two constructions need care:
+#
+# * ``max(1.0, x)`` returns 1.0 for NaN inputs in Python (the comparison
+#   ``x > 1.0`` is false), while ``np.maximum`` propagates NaN — so the batch
+#   code uses ``np.where(x > 1.0, x, 1.0)``;
+# * ``np.log`` may differ from C ``log`` by one ulp on some NumPy builds
+#   (SIMD polynomial implementations), so the merge-pass count of the
+#   external sort is computed with ``math.log`` on the (few) distinct run
+#   counts instead of a vectorized logarithm.
+def _pages_batch(cardinalities: np.ndarray, config: CostModelConfig) -> np.ndarray:
+    """Vectorized :meth:`CostModelConfig.pages`."""
+    raw = cardinalities * config.bytes_per_row / config.page_size_bytes
+    return np.where(raw > 1.0, raw, 1.0)
+
+
+def _merge_passes_batch(runs: np.ndarray, fan_in: float) -> np.ndarray:
+    """``max(1.0, ceil(log(runs, fan_in)))`` per element, via ``math.log``.
+
+    Run counts are ceiling results, so the number of distinct values in a
+    batch is tiny; evaluating the logarithm with ``math`` per distinct value
+    keeps the result bit-identical to the scalar kernel on every platform.
+    """
+    passes = np.empty_like(runs)
+    for value in np.unique(runs).tolist():
+        passes[runs == value] = max(1.0, math.ceil(math.log(value, fan_in)))
+    return passes
+
+
+def _external_sort_cost_batch(pages: np.ndarray, memory_pages: float) -> np.ndarray:
+    """Vectorized :func:`_external_sort_cost`."""
+    cost = pages.copy()
+    spill = pages > memory_pages
+    if spill.any():
+        spilled = pages[spill]
+        runs = np.ceil(spilled / memory_pages)
+        fan_in = max(2.0, memory_pages - 1.0)
+        merge_passes = _merge_passes_batch(runs, fan_in)
+        cost[spill] = 2.0 * spilled * (1.0 + merge_passes)
+    return cost
+
+
+def _sequential_join_time_batch(
+    outer_cardinalities: np.ndarray,
+    inner_cardinalities: np.ndarray,
+    operator: JoinOperator,
+    output_cardinalities: np.ndarray,
+    config: CostModelConfig,
+    pages: "Tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None,
+) -> np.ndarray:
+    """Vectorized :func:`_sequential_join_time` for one operator."""
+    if pages is not None:
+        outer_pages, inner_pages, output_pages = pages
+    else:
+        outer_pages = _pages_batch(outer_cardinalities, config)
+        inner_pages = _pages_batch(inner_cardinalities, config)
+        output_pages = _pages_batch(output_cardinalities, config)
+    cpu = config.cpu_cost_per_row * output_cardinalities
+
+    if operator.algorithm is JoinAlgorithm.HASH:
+        io = outer_pages + inner_pages
+        spill = inner_pages > operator.memory_pages
+        if spill.any():
+            io[spill] = io[spill] + 2.0 * (outer_pages[spill] + inner_pages[spill])
+    elif operator.algorithm is JoinAlgorithm.SORT_MERGE:
+        io = _external_sort_cost_batch(outer_pages, operator.memory_pages)
+        io = io + _external_sort_cost_batch(inner_pages, operator.memory_pages)
+        io = io + (outer_pages + inner_pages)
+    elif operator.algorithm is JoinAlgorithm.BLOCK_NESTED_LOOP:
+        blocks = np.ceil(outer_pages / operator.memory_pages)
+        io = outer_pages + blocks * inner_pages
+    elif operator.algorithm is JoinAlgorithm.NESTED_LOOP:
+        io = outer_pages + outer_cardinalities * inner_pages
+    else:  # pragma: no cover - defensive, enum is exhaustive
+        raise ValueError(f"unknown join algorithm: {operator.algorithm}")
+
+    if operator.output_format is DataFormat.MATERIALIZED:
+        return io + output_pages + cpu
+    return io + 0.0 + cpu
 
 
 def _sequential_scan_time(
@@ -200,9 +342,21 @@ class TimeMetric(CostMetric):
         sequential = _sequential_scan_time(table, operator, output_cardinality, config)
         return sequential / operator.parallelism
 
-    def join_cost(self, outer, inner, operator, output_cardinality, config):
+    def join_cost_cards(
+        self, outer_cardinality, inner_cardinality, operator, output_cardinality, config
+    ):
         sequential = _sequential_join_time(
-            outer, inner, operator, output_cardinality, config
+            outer_cardinality, inner_cardinality, operator, output_cardinality, config
+        )
+        return sequential / operator.parallelism
+
+    def join_cost_batch(
+        self, outer_cardinalities, inner_cardinalities, operator,
+        output_cardinalities, config, pages=None,
+    ):
+        sequential = _sequential_join_time_batch(
+            outer_cardinalities, inner_cardinalities, operator,
+            output_cardinalities, config, pages,
         )
         return sequential / operator.parallelism
 
@@ -217,9 +371,11 @@ class BufferMetric(CostMetric):
         # A scan needs one page per degree of parallelism for its read buffer.
         return float(operator.parallelism)
 
-    def join_cost(self, outer, inner, operator, output_cardinality, config):
-        del output_cardinality
-        inner_pages = config.pages(inner.cardinality)
+    def join_cost_cards(
+        self, outer_cardinality, inner_cardinality, operator, output_cardinality, config
+    ):
+        del outer_cardinality, output_cardinality
+        inner_pages = config.pages(inner_cardinality)
         if operator.algorithm is JoinAlgorithm.HASH:
             # The build side must be held in memory (capped by the budget when
             # the join degrades to a partitioned hash join).
@@ -231,6 +387,28 @@ class BufferMetric(CostMetric):
             return float(operator.memory_pages)
         # Tuple nested loop only buffers a single page per input.
         return 2.0
+
+    def join_cost_batch(
+        self, outer_cardinalities, inner_cardinalities, operator,
+        output_cardinalities, config, pages=None,
+    ):
+        size = inner_cardinalities.shape[0]
+        if operator.algorithm is JoinAlgorithm.HASH:
+            inner_pages = (
+                pages[1] if pages is not None
+                else _pages_batch(inner_cardinalities, config)
+            )
+            # ``min(x, m)`` keeps NaN (both the comparison-based Python min
+            # and np.minimum return the NaN operand here).
+            return np.minimum(inner_pages, operator.memory_pages) + float(
+                operator.parallelism
+            )
+        if operator.algorithm in (
+            JoinAlgorithm.SORT_MERGE,
+            JoinAlgorithm.BLOCK_NESTED_LOOP,
+        ):
+            return np.full(size, float(operator.memory_pages))
+        return np.full(size, 2.0)
 
 
 class DiskMetric(CostMetric):
@@ -244,9 +422,11 @@ class DiskMetric(CostMetric):
             return config.pages(output_cardinality)
         return 0.0
 
-    def join_cost(self, outer, inner, operator, output_cardinality, config):
-        outer_pages = config.pages(outer.cardinality)
-        inner_pages = config.pages(inner.cardinality)
+    def join_cost_cards(
+        self, outer_cardinality, inner_cardinality, operator, output_cardinality, config
+    ):
+        outer_pages = config.pages(outer_cardinality)
+        inner_pages = config.pages(inner_cardinality)
         spill = 0.0
         if operator.algorithm is JoinAlgorithm.HASH:
             if inner_pages > operator.memory_pages:
@@ -262,6 +442,31 @@ class DiskMetric(CostMetric):
             else 0.0
         )
         return spill + materialization
+
+    def join_cost_batch(
+        self, outer_cardinalities, inner_cardinalities, operator,
+        output_cardinalities, config, pages=None,
+    ):
+        if pages is not None:
+            outer_pages, inner_pages, output_pages = pages
+        else:
+            outer_pages = _pages_batch(outer_cardinalities, config)
+            inner_pages = _pages_batch(inner_cardinalities, config)
+            output_pages = None
+        spill = np.zeros(outer_pages.shape[0])
+        if operator.algorithm is JoinAlgorithm.HASH:
+            mask = inner_pages > operator.memory_pages
+            spill[mask] = outer_pages[mask] + inner_pages[mask]
+        elif operator.algorithm is JoinAlgorithm.SORT_MERGE:
+            mask = outer_pages > operator.memory_pages
+            spill[mask] = spill[mask] + outer_pages[mask]
+            mask = inner_pages > operator.memory_pages
+            spill[mask] = spill[mask] + inner_pages[mask]
+        if operator.output_format is DataFormat.MATERIALIZED:
+            if output_pages is None:
+                output_pages = _pages_batch(output_cardinalities, config)
+            return spill + output_pages
+        return spill + 0.0
 
 
 class MonetaryMetric(CostMetric):
@@ -281,9 +486,22 @@ class MonetaryMetric(CostMetric):
         overhead = 1.0 + config.parallelism_overhead * (operator.parallelism - 1)
         return sequential * config.price_per_time_unit * overhead
 
-    def join_cost(self, outer, inner, operator, output_cardinality, config):
+    def join_cost_cards(
+        self, outer_cardinality, inner_cardinality, operator, output_cardinality, config
+    ):
         sequential = _sequential_join_time(
-            outer, inner, operator, output_cardinality, config
+            outer_cardinality, inner_cardinality, operator, output_cardinality, config
+        )
+        overhead = 1.0 + config.parallelism_overhead * (operator.parallelism - 1)
+        return sequential * config.price_per_time_unit * overhead
+
+    def join_cost_batch(
+        self, outer_cardinalities, inner_cardinalities, operator,
+        output_cardinalities, config, pages=None,
+    ):
+        sequential = _sequential_join_time_batch(
+            outer_cardinalities, inner_cardinalities, operator,
+            output_cardinalities, config, pages,
         )
         overhead = 1.0 + config.parallelism_overhead * (operator.parallelism - 1)
         return sequential * config.price_per_time_unit * overhead
@@ -307,9 +525,22 @@ class EnergyMetric(CostMetric):
         sequential = _sequential_scan_time(table, operator, output_cardinality, config)
         return sequential * config.power_per_time_unit
 
-    def join_cost(self, outer, inner, operator, output_cardinality, config):
+    def join_cost_cards(
+        self, outer_cardinality, inner_cardinality, operator, output_cardinality, config
+    ):
         sequential = _sequential_join_time(
-            outer, inner, operator, output_cardinality, config
+            outer_cardinality, inner_cardinality, operator, output_cardinality, config
+        )
+        power = self._ALGORITHM_POWER[operator.algorithm] * config.power_per_time_unit
+        return sequential * power
+
+    def join_cost_batch(
+        self, outer_cardinalities, inner_cardinalities, operator,
+        output_cardinalities, config, pages=None,
+    ):
+        sequential = _sequential_join_time_batch(
+            outer_cardinalities, inner_cardinalities, operator,
+            output_cardinalities, config, pages,
         )
         power = self._ALGORITHM_POWER[operator.algorithm] * config.power_per_time_unit
         return sequential * power
@@ -329,9 +560,19 @@ class PrecisionLossMetric(CostMetric):
         del table, output_cardinality, config
         return 1.0 - operator.sampling_rate
 
-    def join_cost(self, outer, inner, operator, output_cardinality, config):
-        del outer, inner, operator, output_cardinality, config
+    def join_cost_cards(
+        self, outer_cardinality, inner_cardinality, operator, output_cardinality, config
+    ):
+        del outer_cardinality, inner_cardinality, operator
+        del output_cardinality, config
         return 0.0
+
+    def join_cost_batch(
+        self, outer_cardinalities, inner_cardinalities, operator,
+        output_cardinalities, config, pages=None,
+    ):
+        del inner_cardinalities, operator, output_cardinalities, config, pages
+        return np.zeros(outer_cardinalities.shape[0])
 
 
 #: Registry of all metric implementations by name.

@@ -17,6 +17,13 @@ Entries live under ``<root>/<hh>/<hash>.json`` (two-level fan-out keeps
 directories small).  Writes are atomic (temp file + ``os.replace``), so
 concurrent workers sharing a cache directory can only ever observe complete
 entries; corrupted or foreign files are treated as misses.
+
+The cache is **append-only by default**.  ``max_bytes`` turns on a
+size-capped LRU policy: every hit refreshes its entry's mtime, and a write
+that pushes the cache past the cap evicts least-recently-used entries until
+it fits again.  Evictions are atomic single-file unlinks (a concurrently
+evicted entry is just a miss), so sharing a capped cache between workers
+stays safe.
 """
 
 from __future__ import annotations
@@ -68,11 +75,26 @@ class TaskCache:
     root:
         Cache directory (created on first write).  Safe to share between
         concurrent workers and successive runs; entries are immutable.
+    max_bytes:
+        Optional size cap.  ``None`` (the default) keeps the cache
+        append-only; a positive value enables LRU eviction: hits refresh
+        recency, and writes evict least-recently-used entries until the
+        cache fits the cap.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self._root = os.fspath(root)
-        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "stores": 0}
+        self._max_bytes = max_bytes
+        # Running size estimate so under-cap writes stay O(1): seeded by one
+        # full scan, bumped per store, re-measured only when the estimate
+        # crosses the cap (concurrent workers make any local count drift,
+        # so eviction always re-scans before unlinking anything).
+        self._approx_bytes: int | None = None
+        self._stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0,
+        }
 
     @property
     def root(self) -> str:
@@ -80,8 +102,13 @@ class TaskCache:
         return self._root
 
     @property
+    def max_bytes(self) -> int | None:
+        """The size cap in bytes (``None``: append-only)."""
+        return self._max_bytes
+
+    @property
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/store counters of this cache instance (a copy)."""
+        """Hit/miss/store/eviction counters of this cache instance (a copy)."""
         return dict(self._stats)
 
     def _entry_path(self, key: str) -> str:
@@ -110,7 +137,17 @@ class TaskCache:
             self._stats["misses"] += 1
             return None
         self._stats["hits"] += 1
+        if self._max_bytes is not None:
+            self._touch(self._entry_path(key))
         return result
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh an entry's mtime (LRU recency); races are harmless."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def partition(
         self, spec: ScenarioSpec, tasks: "Sequence[TaskSpec]"
@@ -151,6 +188,9 @@ class TaskCache:
             with open(path, "r", encoding="utf-8") as handle:
                 existing = json.load(handle)
             if existing.get("format") == CACHE_ENTRY_FORMAT and existing.get("key") == key:
+                if self._max_bytes is not None:
+                    # A re-put is a use: refresh LRU recency like a hit.
+                    self._touch(path)
                 return key
         except (OSError, ValueError):
             pass
@@ -165,7 +205,67 @@ class TaskCache:
             },
         )
         self._stats["stores"] += 1
+        if self._max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                try:
+                    self._approx_bytes += os.path.getsize(path)
+                except OSError:
+                    pass
+            if self._approx_bytes > self._max_bytes:
+                self._enforce_cap(keep=path)
         return key
+
+    # ----------------------------------------------------------- LRU policy
+    def _entries_by_recency(self) -> "List[Tuple[float, str, int]]":
+        """All entries as ``(mtime, path, size)``, least recent first."""
+        entries: List[Tuple[float, str, int]] = []
+        if not os.path.isdir(self._root):
+            return entries
+        for shard in sorted(os.listdir(self._root)):
+            shard_dir = os.path.join(self._root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    status = os.stat(path)
+                except OSError:  # evicted concurrently
+                    continue
+                entries.append((status.st_mtime, path, status.st_size))
+        entries.sort()
+        return entries
+
+    def total_bytes(self) -> int:
+        """Total size of all entries currently on disk."""
+        return sum(size for _, _, size in self._entries_by_recency())
+
+    def _enforce_cap(self, keep: str | None = None) -> None:
+        """Evict least-recently-used entries until the cache fits the cap.
+
+        ``keep`` protects the entry just written (it is the most recent
+        anyway; the guard matters when a single entry exceeds the cap).
+        Evictions are plain unlinks — concurrent readers of an evicted
+        entry observe an ordinary miss.
+        """
+        assert self._max_bytes is not None
+        entries = self._entries_by_recency()
+        total = sum(size for _, _, size in entries)
+        for _, path, size in entries:
+            if total <= self._max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self._stats["evictions"] += 1
+        self._approx_bytes = total
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""

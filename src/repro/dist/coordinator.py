@@ -18,7 +18,13 @@ lease lifecycle is the whole fault-tolerance story:
 * a **duplicate** completion (the group is already done) is ignored;
 * a **corrupt** completion (results that do not cover the lease's tasks
   exactly) is rejected with :class:`LeaseValidationError` and the group is
-  requeued, so a malfunctioning worker cannot poison the run.
+  requeued, so a malfunctioning worker cannot poison the run;
+* when the queue drains while a **straggler** still holds a multi-task
+  (cell-granularity) lease, the straggler's incomplete tasks are **split**
+  into single-task groups and leased to the idle requesters — the tail of
+  a run is no longer bounded by the slowest cell.  The original lease stays
+  valid: results are reconciled per task, whichever copy lands first wins,
+  and every other copy is ignored.
 
 Because execution is at-least-once over pure leaves and the reduce
 (:func:`repro.bench.runner.reduce_task_results`) is order-insensitive, the
@@ -75,14 +81,20 @@ class Lease:
 class _Group:
     """Internal scheduling unit: one lease-sized group of tasks."""
 
-    __slots__ = ("group_id", "tasks", "state", "attempts", "current_lease_id")
+    __slots__ = (
+        "group_id", "tasks", "state", "attempts", "current_lease_id", "split_into",
+    )
 
     def __init__(self, group_id: int, tasks: Tuple[TaskSpec, ...]) -> None:
         self.group_id = group_id
         self.tasks = tasks
-        self.state = "pending"  # "pending" | "leased" | "done"
+        # "pending" | "leased" | "done" | "split" (a straggler whose
+        # incomplete tasks were re-queued as single-task groups).
+        self.state = "pending"
         self.attempts = 0
         self.current_lease_id: Optional[str] = None
+        #: Group ids of the single-task groups this group was split into.
+        self.split_into: List[int] = []
 
 
 class Coordinator:
@@ -108,6 +120,11 @@ class Coordinator:
         Seconds before an uncompleted lease is reclaimed.
     clock:
         Monotonic time source (injectable for tests).
+    split_stragglers:
+        When True (the default), an idle lease request against a drained
+        queue splits the largest outstanding multi-task lease into
+        single-task leases (see the module docstring).  Execution stays
+        at-least-once over pure leaves, so results are unchanged.
     """
 
     def __init__(
@@ -119,6 +136,7 @@ class Coordinator:
         cache: Optional[TaskCache] = None,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         clock: Callable[[], float] = time.monotonic,
+        split_stragglers: bool = True,
     ) -> None:
         if workers_hint < 1:
             raise ValueError("workers_hint must be at least 1")
@@ -134,6 +152,7 @@ class Coordinator:
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)
         self._completed: Dict[TaskSpec, TaskResult] = {}
+        self._split_stragglers = split_stragglers
         self._stats: Dict[str, int] = {
             "cache_hits": 0,
             "scheduled": 0,
@@ -142,6 +161,7 @@ class Coordinator:
             "late_completions": 0,
             "duplicates": 0,
             "rejected": 0,
+            "splits": 0,
         }
 
         if cache is not None:
@@ -219,16 +239,53 @@ class Coordinator:
                 self._stats["reassignments"] += 1
                 self._work_available.notify_all()
 
+    def _split_straggler_locked(self) -> bool:
+        """Split the largest outstanding multi-task lease into case leases.
+
+        Called when the pending queue is empty but leased cell-granularity
+        groups are still outstanding: their not-yet-completed tasks are
+        re-queued as single-task groups so idle workers can share the tail.
+        The original lease remains valid — results are reconciled per task.
+        Returns True when a group was split.
+        """
+        straggler: Optional[_Group] = None
+        for group in self._groups:
+            if group.state != "leased" or len(group.tasks) < 2:
+                continue
+            if straggler is None or len(group.tasks) > len(straggler.tasks):
+                straggler = group
+        if straggler is None:
+            return False
+        remaining = [
+            task for task in straggler.tasks if task not in self._completed
+        ]
+        if not remaining:
+            return False
+        straggler.state = "split"
+        for task in remaining:
+            sub_group = _Group(len(self._groups), (task,))
+            self._groups.append(sub_group)
+            straggler.split_into.append(sub_group.group_id)
+            self._pending.append(sub_group.group_id)
+        self._stats["splits"] += 1
+        self._work_available.notify_all()
+        return True
+
     def request_lease(self, worker_id: str) -> Optional[Lease]:
         """Grant the next pending group to ``worker_id``.
 
-        Reclaims expired leases first; returns ``None`` when nothing is
-        pending (the caller should :meth:`wait_for_work` and distinguish a
-        drained queue from a finished run via :attr:`done`).
+        Reclaims expired leases first.  When nothing is pending but a
+        multi-task lease is still outstanding, that straggler is split into
+        single-task leases (work stealing) and the first one is granted.
+        Returns ``None`` when no work can be produced (the caller should
+        :meth:`wait_for_work` and distinguish a drained queue from a
+        finished run via :attr:`done`).
         """
         now = self._clock()
         with self._lock:
             self._reclaim_expired_locked(now)
+            if not self._pending and self._split_stragglers:
+                self._split_straggler_locked()
             if not self._pending:
                 return None
             group = self._groups[self._pending.popleft()]
@@ -252,25 +309,25 @@ class Coordinator:
     ) -> bool:
         """Record the results of a lease.
 
-        Returns ``True`` when the results were accepted, ``False`` for a
-        duplicate completion (the group was already completed — possibly by
-        another worker after a reclaim).  Raises
-        :class:`LeaseValidationError` when the lease id is unknown or the
-        results do not cover the lease's tasks exactly; in the latter case
-        the group is requeued so the run still finishes.
+        Results are reconciled **per task**: whichever lease delivers a
+        task's result first wins (leaves are pure), every later copy is
+        ignored.  Returns ``True`` when at least one new task result was
+        recorded, ``False`` for a full duplicate (every task already
+        completed — by a reclaimed lease's other copy, or by the split
+        leases of a straggler).  Raises :class:`LeaseValidationError` when
+        the lease id is unknown or the results do not cover the lease's
+        tasks exactly; in the latter case the group is requeued so the run
+        still finishes.
         """
         with self._lock:
             group_id = self._leases.get(lease_id)
             if group_id is None:
                 raise LeaseValidationError(f"unknown lease id {lease_id!r}")
             group = self._groups[group_id]
-            if group.state == "done":
-                self._stats["duplicates"] += 1
-                return False
             by_task = {result.task: result for result in results}
             if len(by_task) != len(results) or set(by_task) != set(group.tasks):
                 self._stats["rejected"] += 1
-                if group.current_lease_id == lease_id:
+                if group.current_lease_id == lease_id and group.state == "leased":
                     group.state = "pending"
                     group.current_lease_id = None
                     self._pending.appendleft(group.group_id)
@@ -279,23 +336,51 @@ class Coordinator:
                     f"lease {lease_id!r}: results do not cover the leased tasks "
                     f"(got {len(results)} result(s) for {len(group.tasks)} task(s))"
                 )
-            if group.current_lease_id != lease_id:
+            new_tasks = [
+                task for task in group.tasks if task not in self._completed
+            ]
+            if not new_tasks:
+                if group.state not in ("done", "split"):
+                    group.state = "done"
+                    group.current_lease_id = None
+                self._stats["duplicates"] += 1
+                return False
+            if group.current_lease_id != lease_id and group.state == "leased":
                 # A reclaimed lease finishing after all: accept it (the
-                # leaves are pure) and cancel the requeued copy.
+                # leaves are pure); the requeued copy is cancelled below.
                 self._stats["late_completions"] += 1
-                if group.state == "pending":
-                    self._pending.remove(group.group_id)
+            if group.state == "pending":
+                # The group was reclaimed and requeued; this completion
+                # makes the requeued copy unnecessary.
+                self._pending.remove(group.group_id)
+            for task in new_tasks:
+                self._completed[task] = by_task[task]
+            self._stats["completed"] += len(new_tasks)
             group.state = "done"
             group.current_lease_id = None
-            for task in group.tasks:
-                self._completed[task] = by_task[task]
-            self._stats["completed"] += len(group.tasks)
+            self._cancel_covered_groups_locked(group)
             if self._cache is not None:
-                for task in group.tasks:
+                for task in new_tasks:
                     if task_is_deterministic(self._spec, task):
                         self._cache.put(self._spec, by_task[task])
             self._work_available.notify_all()
             return True
+
+    def _cancel_covered_groups_locked(self, completed_group: _Group) -> None:
+        """Drop pending groups whose tasks the completed lease covered.
+
+        After a straggler split, a task may live in two groups: the split
+        original and its single-task twin.  Whichever completes first marks
+        the other side done (a pending twin leaves the queue; a leased twin
+        simply becomes a duplicate on delivery).
+        """
+        for sub_id in completed_group.split_into:
+            sub_group = self._groups[sub_id]
+            if sub_group.state == "pending" and all(
+                task in self._completed for task in sub_group.tasks
+            ):
+                sub_group.state = "done"
+                self._pending.remove(sub_group.group_id)
 
     def fail_lease(self, lease_id: str) -> None:
         """Return a lease to the queue immediately (a worker giving up)."""

@@ -16,7 +16,6 @@ exactly this through the ``on_lease`` hook.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, List, Optional
 

@@ -7,6 +7,7 @@ representation* (materialized vs. pipelined), which is what the pseudo-code's
 ``SameOutput`` predicate compares.
 """
 
+from repro.plans.arena import PlanArena, resolve_plan_engine
 from repro.plans.operators import (
     DataFormat,
     JoinOperator,
@@ -14,7 +15,7 @@ from repro.plans.operators import (
     ScanOperator,
 )
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
-from repro.plans.transformations import TransformationRules
+from repro.plans.transformations import ArenaTransformationRules, TransformationRules
 from repro.plans.printer import explain_plan, plan_signature
 from repro.plans.validation import PlanValidationError, validate_plan
 
@@ -26,7 +27,10 @@ __all__ = [
     "Plan",
     "ScanPlan",
     "JoinPlan",
+    "PlanArena",
+    "resolve_plan_engine",
     "TransformationRules",
+    "ArenaTransformationRules",
     "explain_plan",
     "plan_signature",
     "validate_plan",

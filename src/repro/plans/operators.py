@@ -19,7 +19,7 @@ Operators carry the parameters that the cost models read:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import List, Sequence, Tuple
 

@@ -23,12 +23,13 @@ to the bottom-up cost vectors.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.plans.operators import JoinOperator
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
 
-if TYPE_CHECKING:  # pragma: no cover - import for type checking only
+if TYPE_CHECKING:  # pragma: no cover - imports for type checking only
+    from repro.cost.batch import BatchCostModel, JoinSpec, PlanRef
     from repro.cost.model import PlanFactory
 
 
@@ -160,4 +161,159 @@ class TransformationRules:
             return list(applicable)
         if preferred in applicable:
             return [preferred]
+        return [applicable[0]]
+
+
+class ArenaTransformationRules:
+    """The same neighborhood, generated over plan-arena references.
+
+    Mirrors :class:`TransformationRules` transformation for transformation —
+    same rules, same enumeration order — but produces *uncosted*
+    :class:`~repro.cost.batch.JoinSpec` candidates instead of costed
+    ``Plan`` objects.  Callers collect the specs a node's whole neighborhood
+    needs and cost them in one batched
+    :meth:`~repro.cost.batch.BatchCostModel.cost_specs` call; only selected
+    candidates are ever realized into arena nodes.  (Structural rebuilds —
+    the intermediates of associativity/exchange moves — are realized
+    eagerly through the hash-consing ``make_join``, so every candidate has
+    handle children.)
+
+    Parameters mirror :class:`TransformationRules`; pass an existing rules
+    object to copy its ablation flags.
+    """
+
+    def __init__(
+        self,
+        model: "BatchCostModel",
+        rules: TransformationRules | None = None,
+    ) -> None:
+        flags = rules if rules is not None else TransformationRules()
+        self._model = model
+        self._arena = model.arena
+        self.enable_associativity = flags.enable_associativity
+        self.enable_exchange = flags.enable_exchange
+        self.enable_operator_change = flags.enable_operator_change
+
+    # ----------------------------------------------------------- public API
+    def is_join(self, ref: "PlanRef") -> bool:
+        """Whether a reference (handle or pending spec) is a join."""
+        return not isinstance(ref, int) or self._arena.is_join(ref)
+
+    def children_of(self, ref: "PlanRef") -> "Tuple[PlanRef, PlanRef]":
+        """Outer and inner child references of a join reference."""
+        if isinstance(ref, int):
+            return self._arena.outer(ref), self._arena.inner(ref)
+        return ref.outer, ref.inner
+
+    def op_code_of(self, ref: "PlanRef") -> int:
+        """Operator code of a join reference."""
+        return ref.op_code if not isinstance(ref, int) else self._arena.op_code(ref)
+
+    def mutations(
+        self, ref: "PlanRef", pending: "List[JoinSpec]"
+    ) -> "List[PlanRef]":
+        """All neighbors of ``ref`` via one local transformation (uncosted).
+
+        Newly created specs are appended to ``pending`` for batched costing;
+        the returned candidate list (which always starts with ``ref`` itself)
+        matches the object rules' order element for element.
+        """
+        if not self.is_join(ref):
+            return self._scan_mutations(ref)
+        return self._join_mutations(ref, pending)
+
+    def rebuild_join(
+        self,
+        outer: int,
+        inner: int,
+        preferred_code: int,
+    ) -> int:
+        """Rebuild ``outer ⋈ inner`` preferring ``preferred_code``.
+
+        Structural rebuilds (the intermediate nodes of associativity and
+        exchange moves) are realized eagerly — they are hash-consed and
+        memoized, and recur across climb steps — so that every emitted
+        candidate has handle children and the whole neighborhood batches
+        through one vectorized costing call.
+        """
+        applicable = self._model.join_codes_for(inner)
+        code = preferred_code if preferred_code in applicable else applicable[0]
+        return self._model.make_join(outer, inner, code)
+
+    # ------------------------------------------------------------ internals
+    def _scan_mutations(self, ref: "PlanRef") -> "List[PlanRef]":
+        assert isinstance(ref, int)
+        results: "List[PlanRef]" = [ref]
+        if not self.enable_operator_change:
+            return results
+        table_index = self._arena.table_index(ref)
+        current_code = self._arena.op_code(ref)
+        for op_code in self._model.scan_codes(table_index):
+            if op_code != current_code:
+                results.append(self._model.make_scan(table_index, op_code))
+        return results
+
+    def _join_mutations(
+        self, ref: "PlanRef", pending: "List[JoinSpec]"
+    ) -> "List[PlanRef]":
+        from repro.cost.batch import JoinSpec
+
+        results: "List[PlanRef]" = [ref]
+        outer, inner = self.children_of(ref)
+        root_code = self.op_code_of(ref)
+
+        def emit(new_outer: "PlanRef", new_inner: "PlanRef", code: int) -> None:
+            spec = JoinSpec(new_outer, new_inner, code)
+            pending.append(spec)
+            results.append(spec)
+
+        # Operator change at the root.
+        if self.enable_operator_change:
+            for code in self._model.join_codes_for(inner):
+                if code != root_code:
+                    emit(outer, inner, code)
+
+        # Commutativity: swap outer and inner.
+        for code in self._root_codes(outer, root_code):
+            emit(inner, outer, code)
+
+        # Rules that require a join as the outer child.
+        if self.is_join(outer):
+            a, b = self.children_of(outer)
+            outer_code = self.op_code_of(outer)
+            if self.enable_associativity:
+                # (A ⋈ B) ⋈ C  →  A ⋈ (B ⋈ C)
+                new_inner = self.rebuild_join(b, inner, outer_code)
+                for code in self._root_codes(new_inner, root_code):
+                    emit(a, new_inner, code)
+            if self.enable_exchange:
+                # (A ⋈ B) ⋈ C  →  (A ⋈ C) ⋈ B
+                new_outer = self.rebuild_join(a, inner, outer_code)
+                for code in self._root_codes(b, root_code):
+                    emit(new_outer, b, code)
+
+        # Rules that require a join as the inner child.
+        if self.is_join(inner):
+            b, c = self.children_of(inner)
+            inner_code = self.op_code_of(inner)
+            if self.enable_associativity:
+                # A ⋈ (B ⋈ C)  →  (A ⋈ B) ⋈ C
+                new_outer = self.rebuild_join(outer, b, inner_code)
+                for code in self._root_codes(c, root_code):
+                    emit(new_outer, c, code)
+            if self.enable_exchange:
+                # A ⋈ (B ⋈ C)  →  B ⋈ (A ⋈ C)
+                new_inner = self.rebuild_join(outer, c, inner_code)
+                for code in self._root_codes(new_inner, root_code):
+                    emit(b, new_inner, code)
+
+        return results
+
+    def _root_codes(self, inner: "PlanRef", preferred_code: int) -> List[int]:
+        """Root operator codes for a structural mutation (see object twin)."""
+        applicable = self._model.join_codes_for(inner)
+        if self.enable_operator_change:
+            return list(applicable)
+        if preferred_code in applicable:
+            return [preferred_code]
         return [applicable[0]]

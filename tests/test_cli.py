@@ -58,6 +58,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure1", "--backend", "cluster"])
 
+    def test_cache_max_mb_flag(self):
+        from repro.bench.cli import _cache_cap_bytes
+
+        args = build_parser().parse_args(
+            ["figure1", "--cache-dir", "/tmp/c", "--cache-max-mb", "64"]
+        )
+        assert _cache_cap_bytes(args) == 64 * 1024 * 1024
+        unbounded = build_parser().parse_args(["figure1", "--cache-dir", "/tmp/c"])
+        assert _cache_cap_bytes(unbounded) is None
+        negative = build_parser().parse_args(
+            ["figure1", "--cache-dir", "/tmp/c", "--cache-max-mb", "-1"]
+        )
+        with pytest.raises(SystemExit, match="cache-max-mb"):
+            _cache_cap_bytes(negative)
+        capless = build_parser().parse_args(["figure1", "--cache-max-mb", "64"])
+        with pytest.raises(SystemExit, match="requires --cache-dir"):
+            _cache_cap_bytes(capless)
+
     def test_coordinate_parser(self):
         from repro.bench.cli import build_coordinate_parser
 

@@ -131,7 +131,7 @@ class TestTaskCache:
         result = tasks_module.execute_task(step_spec, task)
         cache.put(step_spec, result)
         assert cache.get(step_spec, task) == result
-        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1, "evictions": 0}
         assert len(cache) == 1
 
     def test_non_deterministic_results_refused(self, step_spec, tmp_path):
@@ -169,6 +169,86 @@ class TestTaskCache:
             step_spec, name="variant", algorithms=("RandomSampling",)
         )
         assert cache.get(variant, reference) is not None
+
+
+class TestTaskCacheEviction:
+    def _fill(self, cache, spec, count):
+        """Store the first ``count`` leaf results; returns the tasks."""
+        tasks = schedule_tasks(spec)[:count]
+        for task in tasks:
+            cache.put(spec, tasks_module.execute_task(spec, task))
+        return tasks
+
+    def _entry_size(self, spec, tmp_path):
+        probe = TaskCache(os.fspath(tmp_path / "probe"))
+        task = schedule_tasks(spec)[0]
+        key = probe.put(spec, tasks_module.execute_task(spec, task))
+        return os.path.getsize(probe._entry_path(key))
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            TaskCache(os.fspath(tmp_path / "cache"), max_bytes=0)
+
+    def test_cap_enforced_after_puts(self, step_spec, tmp_path):
+        entry_size = self._entry_size(step_spec, tmp_path)
+        cap = int(entry_size * 2.5)  # room for two entries
+        cache = TaskCache(os.fspath(tmp_path / "cache"), max_bytes=cap)
+        self._fill(cache, step_spec, 5)
+        assert cache.total_bytes() <= cap
+        assert len(cache) < 5
+        assert cache.stats["evictions"] >= 1
+
+    def test_append_only_without_cap(self, step_spec, tmp_path):
+        cache = TaskCache(os.fspath(tmp_path / "cache"))
+        self._fill(cache, step_spec, 5)
+        assert len(cache) == 5
+        assert cache.stats["evictions"] == 0
+
+    def test_least_recently_used_entry_evicted_first(self, step_spec, tmp_path):
+        entry_size = self._entry_size(step_spec, tmp_path)
+        cap = int(entry_size * 2.5)
+        cache = TaskCache(os.fspath(tmp_path / "cache"), max_bytes=cap)
+        tasks = schedule_tasks(step_spec)[:3]
+        first, second, third = tasks
+        now = 1_000_000_000.0
+        for offset, task in enumerate((first, second)):
+            key = cache.put(step_spec, tasks_module.execute_task(step_spec, task))
+            os.utime(cache._entry_path(key), (now + offset, now + offset))
+        # Touch the older entry through a hit: it becomes the most recent...
+        hit_key = cache.put(step_spec, tasks_module.execute_task(step_spec, first))
+        assert cache.get(step_spec, first) is not None
+        os.utime(cache._entry_path(hit_key), (now + 5, now + 5))
+        # ...so the third put evicts ``second``, not ``first``.
+        cache.put(step_spec, tasks_module.execute_task(step_spec, third))
+        assert cache.get(step_spec, first) is not None
+        assert cache.get(step_spec, third) is not None
+        assert cache.get(step_spec, second) is None
+
+    def test_warm_hit_after_eviction_recomputes_and_restores(
+        self, step_spec, tmp_path
+    ):
+        entry_size = self._entry_size(step_spec, tmp_path)
+        cache = TaskCache(
+            os.fspath(tmp_path / "cache"), max_bytes=int(entry_size * 1.5)
+        )
+        tasks = self._fill(cache, step_spec, 2)  # the second put evicts the first
+        evicted = tasks[0]
+        assert cache.get(step_spec, evicted) is None  # ordinary miss
+        result = tasks_module.execute_task(step_spec, evicted)
+        cache.put(step_spec, result)  # recomputed and restored...
+        assert cache.get(step_spec, evicted) == result  # ...warm again
+        assert cache.total_bytes() <= int(entry_size * 1.5)
+
+    def test_capped_run_scenario_still_bit_identical(
+        self, step_spec, sequential_result, tmp_path
+    ):
+        entry_size = self._entry_size(step_spec, tmp_path)
+        cache = TaskCache(
+            os.fspath(tmp_path / "cache"), max_bytes=int(entry_size * 1.5)
+        )
+        result = run_scenario(step_spec, workers=1, cache=cache)
+        assert result.cells == sequential_result.cells
+        assert cache.total_bytes() <= int(entry_size * 1.5)
 
 
 # ---------------------------------------------------------------------------
@@ -294,6 +374,136 @@ class TestCoordinatorLifecycle:
 
 
 # ---------------------------------------------------------------------------
+# Straggler splitting (work stealing at the tail of a run)
+# ---------------------------------------------------------------------------
+class TestStragglerSplitting:
+    def _cell_coordinator(self, spec, **kwargs):
+        kwargs.setdefault("clock", FakeClock())
+        kwargs.setdefault("lease_timeout", 1000.0)  # expiry never helps here
+        kwargs.setdefault("granularity", "cell")
+        return Coordinator(spec, **kwargs)
+
+    def test_idle_request_splits_straggler_cell(self, step_spec, sequential_result):
+        coordinator = self._cell_coordinator(step_spec)
+        # A straggler claims the first cell and stalls; a second worker
+        # drains the rest of the queue.
+        straggler = coordinator.request_lease("straggler")
+        assert straggler is not None and len(straggler.tasks) > 1
+        self._drain_queue(coordinator, "helper")
+        assert not coordinator.done  # the straggler's cell is missing
+        # The helper asks again: the straggler's cell is split into
+        # single-task leases it can execute immediately.
+        stolen = coordinator.request_lease("helper")
+        assert stolen is not None
+        assert len(stolen.tasks) == 1
+        assert stolen.tasks[0] in straggler.tasks
+        assert coordinator.stats["splits"] == 1
+        results = [tasks_module.execute_task(step_spec, task) for task in stolen.tasks]
+        assert coordinator.complete_lease(stolen.lease_id, results) is True
+        self._drain(coordinator, "helper")
+        assert coordinator.done
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+    def test_late_straggler_completion_reconciled_per_task(
+        self, step_spec, sequential_result
+    ):
+        coordinator = self._cell_coordinator(step_spec)
+        straggler = coordinator.request_lease("straggler")
+        self._drain_queue(coordinator, "helper")
+        # Steal exactly one task of the straggler's cell...
+        stolen = coordinator.request_lease("helper")
+        results = [tasks_module.execute_task(step_spec, task) for task in stolen.tasks]
+        assert coordinator.complete_lease(stolen.lease_id, results) is True
+        # ...then the straggler delivers its whole cell after all: only the
+        # not-yet-completed tasks are recorded, the stolen twin queue
+        # entries are cancelled, and the run finishes without re-executing
+        # anything.
+        late = [
+            tasks_module.execute_task(step_spec, task) for task in straggler.tasks
+        ]
+        assert coordinator.complete_lease(straggler.lease_id, late) is True
+        assert coordinator.request_lease("helper") is None
+        assert coordinator.done
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+    def test_split_twin_delivery_is_duplicate(self, step_spec):
+        coordinator = self._cell_coordinator(step_spec)
+        straggler = coordinator.request_lease("straggler")
+        self._drain_queue(coordinator, "helper")
+        stolen = coordinator.request_lease("helper")
+        # The straggler finishes first; the helper's stolen copy becomes a
+        # duplicate and is ignored.
+        late = [
+            tasks_module.execute_task(step_spec, task) for task in straggler.tasks
+        ]
+        assert coordinator.complete_lease(straggler.lease_id, late) is True
+        results = [tasks_module.execute_task(step_spec, task) for task in stolen.tasks]
+        assert coordinator.complete_lease(stolen.lease_id, results) is False
+        assert coordinator.stats["duplicates"] == 1
+        self._drain(coordinator, "helper")
+        assert coordinator.done
+
+    def test_splitting_can_be_disabled(self, step_spec):
+        coordinator = self._cell_coordinator(step_spec, split_stragglers=False)
+        straggler = coordinator.request_lease("straggler")
+        assert straggler is not None
+        self._drain_queue(coordinator, "helper")
+        assert coordinator.request_lease("helper") is None
+        assert coordinator.stats["splits"] == 0
+
+    def test_split_run_bit_identical_with_threads(self, step_spec, sequential_result):
+        # End-to-end: a worker that sits on its first cell forever forces
+        # the survivor to steal through splits (expiry can't help — the
+        # lease outlives the test), and the reduced result is still
+        # bit-identical to the sequential run.
+        coordinator = Coordinator(
+            step_spec, workers_hint=2, granularity="cell", lease_timeout=1000.0
+        )
+
+        class _Death(RuntimeError):
+            pass
+
+        def die_on_first_lease(lease):
+            raise _Death(f"worker died holding {lease.lease_id}")
+
+        dying = Worker("dying", coordinator, on_lease=die_on_first_lease, poll=0.01)
+        surviving = Worker("surviving", coordinator, poll=0.01)
+        dying.start()
+        surviving.start()
+        dying.join(timeout=30)
+        surviving.join(timeout=30)
+        assert surviving.error is None
+        assert coordinator.done
+        assert coordinator.stats["splits"] >= 1
+        assert coordinator.stats["reassignments"] == 0
+        cells = reduce_task_results(step_spec, coordinator.results())
+        assert cells == sequential_result.cells
+
+    def _drain(self, coordinator, worker_id):
+        while True:
+            lease = coordinator.request_lease(worker_id)
+            if lease is None:
+                break
+            results = [
+                tasks_module.execute_task(coordinator.spec, task)
+                for task in lease.tasks
+            ]
+            coordinator.complete_lease(lease.lease_id, results)
+
+    def _drain_queue(self, coordinator, worker_id):
+        """Execute only what is already queued (stops before stealing)."""
+        while coordinator.pending_count:
+            lease = coordinator.request_lease(worker_id)
+            results = [
+                tasks_module.execute_task(coordinator.spec, task)
+                for task in lease.tasks
+            ]
+            coordinator.complete_lease(lease.lease_id, results)
+
+
+# ---------------------------------------------------------------------------
 # Coordinator backend end-to-end (bit-identity incl. worker death)
 # ---------------------------------------------------------------------------
 class TestCoordinatorBackend:
@@ -326,7 +536,10 @@ class TestCoordinatorBackend:
         assert isinstance(dying.error, _Death)
         assert surviving.error is None
         assert coordinator.done
-        assert coordinator.stats["reassignments"] >= 1
+        # The survivor takes over either by lease expiry (reassignment) or
+        # by stealing the dead worker's cell through a straggler split.
+        stats = coordinator.stats
+        assert stats["reassignments"] + stats["splits"] >= 1
         cells = reduce_task_results(step_spec, coordinator.results())
         assert cells == sequential_result.cells
 

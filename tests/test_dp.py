@@ -1,6 +1,5 @@
 """Tests for the DP(α) baseline (dynamic-programming approximation schemes)."""
 
-import random
 
 import pytest
 

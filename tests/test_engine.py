@@ -14,7 +14,6 @@ hypervolume variants must agree up to floating-point accumulation.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

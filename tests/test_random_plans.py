@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.random_plans import RandomPlanGenerator
 from repro.plans.plan import JoinPlan
