@@ -12,30 +12,102 @@ factor is ``α^(1/(n-1))`` (errors compound once per join level, and a plan
 for ``n`` tables has ``n - 1`` joins), following the approach of the
 original approximation scheme.
 
-The optimizer is anytime in the weak sense of the paper's evaluation: it
-exposes ``step()`` processing a bounded batch of subset-combination tasks,
-but its :meth:`frontier` stays empty until the full table set has been
-processed — exactly how the DP baselines behave in Figures 1–7, where they
-produce no result for larger queries within the time budget.
+Two engines implement the scheme:
+
+* :class:`DPOptimizer` — the original ``Plan``-object implementation, kept
+  as the property-tested scalar reference;
+* :class:`ArenaDPOptimizer` — the columnar engine: subsets are int bitsets,
+  the (left, right) splits of a subset are enumerated as NumPy index
+  arrays, and each split's candidate joins (cross product of the two cached
+  sub-frontiers × applicable operators) are costed and pruned through
+  :meth:`~repro.cost.batch.BatchCostModel.join_candidates_multi` /
+  :meth:`~repro.core.plan_cache.ArenaPlanCache.insert_candidates` in whole
+  array passes.  Frontiers, statistics, and step boundaries are
+  bit-identical to the object engine (``tests/test_dp_arena.py``).  A
+  ``backend="coordinator"`` path additionally shards each subset level
+  across lease-based workers (see :mod:`repro.dist.dp`), still bit-identical
+  — including under injected worker death and warm/cold task caches.
+
+:func:`make_dp_optimizer` picks the engine through the library-wide
+``engine=`` / ``REPRO_PLAN_ENGINE`` convention (arena by default).
+
+Both optimizers are anytime in the weak sense of the paper's evaluation:
+``step()`` processes a bounded batch of subset-combination tasks, but
+:meth:`frontier` stays empty until the full table set has been processed —
+exactly how the DP baselines behave in Figures 1–7, where they produce no
+result for larger queries within the time budget.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, Iterator, List, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.core.interface import AnytimeOptimizer
-from repro.core.plan_cache import PlanCache
+from repro.core.plan_cache import ArenaPlanCache, PlanCache
+from repro.cost.batch import BatchCostModel
 from repro.cost.model import MultiObjectiveCostModel
+from repro.plans.arena import resolve_plan_engine
+from repro.plans.operators import JoinOperator
 from repro.plans.plan import Plan
+
+if TYPE_CHECKING:  # pragma: no cover - imports for type checking only
+    from repro.dist.cache import TaskCache
+    from repro.dist.dp import DPLease
 
 #: Cap used in place of an infinite approximation factor so that arithmetic
 #: with zero-valued cost components stays well defined.
 _ALPHA_CAP = 1e12
 
+#: Execution backends of the arena DP engine.
+DP_BACKENDS = ("sequential", "coordinator")
+
+#: Beyond this many tables the NumPy int64 split enumeration would overflow
+#: (bit 63 is the sign bit); larger queries fall back to Python-int bitsets.
+_MAX_NUMPY_BITS = 62
+
+
+def _format_alpha(alpha: float) -> str:
+    if alpha == float("inf"):
+        return "Infinity"
+    if alpha == int(alpha):
+        return str(int(alpha))
+    return f"{alpha:g}"
+
+
+def _level_alpha_for(alpha: float, num_tables: int) -> float:
+    """Per-join pruning factor whose compounding meets the overall target."""
+    if alpha >= _ALPHA_CAP:
+        return _ALPHA_CAP
+    num_joins = max(1, num_tables - 1)
+    return alpha ** (1.0 / num_joins)
+
+
+def _validate_parameters(alpha: float, tasks_per_step: int) -> None:
+    if alpha < 1.0:
+        raise ValueError(f"approximation factor must be at least 1, got {alpha}")
+    if tasks_per_step < 1:
+        raise ValueError("tasks_per_step must be positive")
+
 
 class DPOptimizer(AnytimeOptimizer):
     """Multi-objective dynamic programming with α-approximate pruning.
+
+    This is the object-engine reference implementation; see
+    :class:`ArenaDPOptimizer` for the vectorized twin and
+    :func:`make_dp_optimizer` for engine selection.
 
     Parameters
     ----------
@@ -56,21 +128,23 @@ class DPOptimizer(AnytimeOptimizer):
         tasks_per_step: int = 50,
     ) -> None:
         super().__init__(cost_model)
-        if alpha < 1.0:
-            raise ValueError(f"approximation factor must be at least 1, got {alpha}")
-        if tasks_per_step < 1:
-            raise ValueError("tasks_per_step must be positive")
-        self.name = f"DP({self._format_alpha(alpha)})"
+        _validate_parameters(alpha, tasks_per_step)
+        self.name = f"DP({_format_alpha(alpha)})"
         self._alpha = min(alpha, _ALPHA_CAP)
         self._tasks_per_step = tasks_per_step
         self._cache = PlanCache()
-        self._tasks = self._task_generator()
         self._finished = False
-        num_joins = max(1, cost_model.query.num_tables - 1)
-        if self._alpha >= _ALPHA_CAP:
-            self._level_alpha = _ALPHA_CAP
-        else:
-            self._level_alpha = self._alpha ** (1.0 / num_joins)
+        self._level_alpha = _level_alpha_for(self._alpha, cost_model.query.num_tables)
+        # Operator applicability depends only on the two input formats, so
+        # level sweeps memoize the library lookup per format pair instead of
+        # re-deriving it for every candidate plan pair.
+        self._join_operators_memo: Dict[object, Tuple[JoinOperator, ...]] = {}
+        # Scan plans are seeded at construction — identically ordered in
+        # both engines — so their ``plans_built`` are charged here, not to
+        # whichever step() happens to pull the first generator item.
+        for table_index in sorted(self.query.relations):
+            self._seed_scans(table_index)
+        self._tasks = self._task_generator()
 
     # ------------------------------------------------------------ accessors
     @property
@@ -115,13 +189,11 @@ class DPOptimizer(AnytimeOptimizer):
     def _task_generator(self) -> Iterator[Tuple[FrozenSet[int], FrozenSet[int]]]:
         """Lazily yield (outer set, inner set) combination tasks, bottom-up.
 
-        Single-table subsets are seeded with scan plans before any join task
-        of the corresponding size is emitted.  Subsets are enumerated by
-        increasing size so that all sub-results exist when a task runs.
+        Subsets are enumerated by increasing size so that all sub-results
+        exist when a task runs (single-table subsets were seeded with scan
+        plans at construction).
         """
         tables = sorted(self.query.relations)
-        for table_index in tables:
-            self._seed_scans(table_index)
         for size in range(2, len(tables) + 1):
             for subset in combinations(tables, size):
                 subset_set = frozenset(subset)
@@ -138,20 +210,404 @@ class DPOptimizer(AnytimeOptimizer):
             self.statistics.plans_built += 1
             self._cache.insert(plan, self._level_alpha)
 
+    def _join_operators(self, outer: Plan, inner: Plan) -> Tuple[JoinOperator, ...]:
+        key = (outer.output_format, inner.output_format)
+        operators = self._join_operators_memo.get(key)
+        if operators is None:
+            operators = tuple(self.cost_model.join_operators(outer, inner))
+            self._join_operators_memo[key] = operators
+        return operators
+
     def _combine(self, left: FrozenSet[int], right: FrozenSet[int]) -> None:
         outer_plans = self._cache.plans(left)
         inner_plans = self._cache.plans(right)
         for outer in outer_plans:
             for inner in inner_plans:
-                for operator in self.cost_model.join_operators(outer, inner):
+                for operator in self._join_operators(outer, inner):
                     candidate = self.cost_model.make_join(outer, inner, operator)
                     self.statistics.plans_built += 1
                     self._cache.insert(candidate, self._level_alpha)
 
     @staticmethod
     def _format_alpha(alpha: float) -> str:
-        if alpha == float("inf"):
-            return "Infinity"
-        if alpha == int(alpha):
-            return str(int(alpha))
-        return f"{alpha:g}"
+        return _format_alpha(alpha)
+
+
+class _SubsetCursor:
+    """Enumeration state of one partially processed subset."""
+
+    __slots__ = ("bits", "rel", "lefts", "index")
+
+    def __init__(self, bits: int, rel: FrozenSet[int], lefts: List[int]) -> None:
+        self.bits = bits
+        self.rel = rel
+        self.lefts = lefts
+        self.index = 0
+
+
+class ArenaDPOptimizer(AnytimeOptimizer):
+    """The vectorized subset-lattice DP over the columnar plan arena.
+
+    Subsets are int bitsets (bit ``t`` ⇔ table ``t``); within a subset, the
+    left sides of all ordered splits are computed as one NumPy gather over
+    cached combination-position matrices, and each split's candidate joins
+    are costed through the whole-level batch kernels of
+    :class:`~repro.cost.batch.BatchCostModel` and pruned through
+    :class:`~repro.core.plan_cache.ArenaPlanCache` at ``level_alpha`` —
+    decision-identical to the object engine's per-candidate loop, at a
+    fraction of the per-candidate cost.
+
+    Parameters
+    ----------
+    cost_model / alpha / tasks_per_step:
+        As for :class:`DPOptimizer`; ``step()`` boundaries, statistics, and
+        frontiers are bit-identical between the two.
+    backend:
+        ``"sequential"`` (default) computes each level in process;
+        ``"coordinator"`` shards the subsets of each level as pure leaf
+        tasks across lease-based workers (:mod:`repro.dist.dp`) and replays
+        the recorded per-split decisions in canonical order, so results do
+        not depend on the worker count or on worker failures.
+    workers:
+        Worker threads of the coordinator backend.
+    task_cache:
+        Optional :class:`~repro.dist.cache.TaskCache` holding per-subset DP
+        results keyed by provenance hash (coordinator backend only); a warm
+        cache replays a level without computing anything.
+    lease_timeout:
+        Seconds before the coordinator reclaims an uncompleted lease.
+    on_lease:
+        Optional hook called with every granted lease before execution —
+        the fault-injection seam used by the tests.
+    """
+
+    def __init__(
+        self,
+        cost_model: MultiObjectiveCostModel,
+        alpha: float = 2.0,
+        tasks_per_step: int = 50,
+        backend: str = "sequential",
+        workers: int = 1,
+        task_cache: "Optional[TaskCache]" = None,
+        lease_timeout: float = 300.0,
+        on_lease: "Optional[Callable[[DPLease], None]]" = None,
+    ) -> None:
+        super().__init__(cost_model)
+        _validate_parameters(alpha, tasks_per_step)
+        if backend not in DP_BACKENDS:
+            raise ValueError(
+                f"unknown DP backend {backend!r}; expected one of {DP_BACKENDS}"
+            )
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.name = f"DP({_format_alpha(alpha)})"
+        self._alpha = min(alpha, _ALPHA_CAP)
+        self._tasks_per_step = tasks_per_step
+        self._level_alpha = _level_alpha_for(self._alpha, cost_model.query.num_tables)
+        self._backend = backend
+        self._workers = workers
+        self._task_cache = task_cache
+        self._lease_timeout = lease_timeout
+        self._on_lease = on_lease
+        self._batch_model = BatchCostModel(cost_model)
+        self._cache = ArenaPlanCache(self._batch_model)
+        self._finished = False
+        self._tables: List[int] = sorted(self.query.relations)
+        self._num_tables = len(self._tables)
+        # bits -> frozenset memo; every subset registers itself when its
+        # level loads it, so split lookups are dictionary reads.
+        self._sets: Dict[int, FrozenSet[int]] = {}
+        # (subset size, left size) -> combination-position matrix.
+        self._split_positions_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._seed_scans()
+        self._level = 1
+        self._level_iter: Iterator[Tuple[int, ...]] = iter(())
+        self._current: Optional[_SubsetCursor] = None
+        # Coordinator state: current level's per-split recorded decisions
+        # (bits -> list of (candidate_count, accepted rows)) and split lists.
+        self._level_effects: Optional[Dict[int, list]] = None
+        self._level_splits: Optional[Dict[int, List[int]]] = None
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def alpha(self) -> float:
+        """Overall approximation-factor target."""
+        return self._alpha
+
+    @property
+    def level_alpha(self) -> float:
+        """Per-join pruning factor derived from the overall target."""
+        return self._level_alpha
+
+    @property
+    def backend(self) -> str:
+        """Execution backend (``"sequential"`` or ``"coordinator"``)."""
+        return self._backend
+
+    @property
+    def plan_cache(self) -> ArenaPlanCache:
+        """The DP table: partial-plan handles per table subset."""
+        return self._cache
+
+    @property
+    def batch_model(self) -> BatchCostModel:
+        """The arena-backed cost model the DP builds plans with."""
+        return self._batch_model
+
+    @property
+    def finished(self) -> bool:
+        """Whether every subset has been processed."""
+        return self._finished
+
+    # ------------------------------------------------------------- protocol
+    def step(self) -> None:
+        """Process a bounded batch of subset-combination tasks."""
+        if self._finished:
+            return
+        remaining = self._tasks_per_step
+        while remaining > 0:
+            chunk = self._next_chunk(remaining)
+            if chunk is None:
+                self._finished = True
+                break
+            self._process_chunk(chunk)
+            remaining -= sum(len(lefts) for _, _, lefts, _ in chunk)
+        self.statistics.steps += 1
+
+    def frontier(self) -> List[Plan]:
+        """Plans for the full query table set (empty until DP completes it)."""
+        return self._cache.plans(self.query.relations)
+
+    # ----------------------------------------------------------- enumeration
+    def _seed_scans(self) -> None:
+        """Seed single-table frontiers, identically ordered to the object engine."""
+        batch_model = self._batch_model
+        cache = self._cache
+        level_alpha = self._level_alpha
+        for table_index in self._tables:
+            self._sets[1 << table_index] = frozenset((table_index,))
+            for op_code in batch_model.scan_codes(table_index):
+                handle = batch_model.make_scan(table_index, op_code)
+                self.statistics.plans_built += 1
+                cache.insert(handle, level_alpha)
+
+    def _split_positions(self, size: int, left_size: int) -> np.ndarray:
+        key = (size, left_size)
+        positions = self._split_positions_cache.get(key)
+        if positions is None:
+            positions = np.fromiter(
+                (
+                    position
+                    for combination in combinations(range(size), left_size)
+                    for position in combination
+                ),
+                dtype=np.int64,
+            ).reshape(-1, left_size)
+            self._split_positions_cache[key] = positions
+        return positions
+
+    def _left_bits_of(self, subset: Tuple[int, ...]) -> List[int]:
+        """Left-side bitsets of all ordered splits, in scalar-loop order.
+
+        The object engine enumerates ``for left_size: for left in
+        combinations(subset, left_size)``; gathering the subset's member
+        bits through the cached position matrix of ``(size, left_size)``
+        reproduces exactly that order (the subset tuple is ascending, and
+        each row's bits are distinct, so the row sum equals the bit OR).
+        """
+        size = len(subset)
+        if self._num_tables <= _MAX_NUMPY_BITS:
+            member_bits = np.array([1 << t for t in subset], dtype=np.int64)
+            parts = [
+                member_bits[self._split_positions(size, left_size)].sum(axis=1)
+                for left_size in range(1, size)
+            ]
+            return np.concatenate(parts).tolist()
+        lefts: List[int] = []
+        for left_size in range(1, size):
+            for left in combinations(subset, left_size):
+                bits = 0
+                for t in left:
+                    bits |= 1 << t
+                lefts.append(bits)
+        return lefts
+
+    def _subset_bits(self, subset: Tuple[int, ...]) -> int:
+        bits = 0
+        for t in subset:
+            bits |= 1 << t
+        return bits
+
+    def _next_chunk(
+        self, budget: int
+    ) -> Optional[List[Tuple[int, FrozenSet[int], List[int], int]]]:
+        """Up to ``budget`` split tasks as ``(bits, rel, lefts, offset)`` runs.
+
+        Returns ``None`` when the lattice is exhausted.  A chunk never
+        crosses a level boundary: level L+1 candidates are costed against
+        level-≤L frontiers, which must be final — and the coordinator
+        backend computes a whole level the moment it is entered, which
+        requires every level-L insertion to have been replayed already.
+        """
+        chunk: List[Tuple[int, FrozenSet[int], List[int], int]] = []
+        while budget > 0:
+            cursor = self._current
+            if cursor is None:
+                subset = next(self._level_iter, None)
+                if subset is None:
+                    if chunk:
+                        return chunk
+                    if self._level >= self._num_tables:
+                        return None
+                    self._level += 1
+                    self._level_iter = combinations(self._tables, self._level)
+                    if self._backend == "coordinator":
+                        self._compute_level(self._level)
+                    continue
+                bits = self._subset_bits(subset)
+                rel = frozenset(subset)
+                self._sets[bits] = rel
+                if self._level_splits is not None:
+                    lefts = self._level_splits[bits]
+                else:
+                    lefts = self._left_bits_of(subset)
+                cursor = _SubsetCursor(bits, rel, lefts)
+                self._current = cursor
+            take = min(budget, len(cursor.lefts) - cursor.index)
+            chunk.append(
+                (
+                    cursor.bits,
+                    cursor.rel,
+                    cursor.lefts[cursor.index : cursor.index + take],
+                    cursor.index,
+                )
+            )
+            cursor.index += take
+            if cursor.index >= len(cursor.lefts):
+                self._current = None
+            budget -= take
+        return chunk
+
+    # ------------------------------------------------------------ processing
+    def _process_chunk(
+        self, chunk: List[Tuple[int, FrozenSet[int], List[int], int]]
+    ) -> None:
+        if self._level_effects is not None:
+            self._replay_chunk(chunk)
+            return
+        cache = self._cache
+        sets = self._sets
+        pairs: List[Tuple[List[int], List[int]]] = []
+        rows: List[Tuple[FrozenSet[int], List[int], List[int]]] = []
+        for bits, rel, lefts, _offset in chunk:
+            for left_bits in lefts:
+                outer_handles = cache.handles(sets[left_bits])
+                inner_handles = cache.handles(sets[bits ^ left_bits])
+                pairs.append((outer_handles, inner_handles))
+                rows.append((rel, outer_handles, inner_handles))
+        batches = self._batch_model.join_candidates_multi(pairs)
+        level_alpha = self._level_alpha
+        statistics = self.statistics
+        for (rel, outer_handles, inner_handles), batch in zip(rows, batches):
+            statistics.plans_built += batch.size
+            cache.insert_candidates(
+                rel, batch, outer_handles, inner_handles, level_alpha
+            )
+
+    def _replay_chunk(
+        self, chunk: List[Tuple[int, FrozenSet[int], List[int], int]]
+    ) -> None:
+        """Apply a level's recorded per-split decisions in canonical order.
+
+        Replaying the accepted candidate subsequence through ``insert()``
+        reproduces the sequential engine's cache state exactly: rejected
+        candidates have no side effects, and each accept/evict decision
+        recomputes identically on identical frontier state.
+        """
+        assert self._level_effects is not None
+        cache = self._cache
+        sets = self._sets
+        arena = self._batch_model.arena
+        level_alpha = self._level_alpha
+        statistics = self.statistics
+        for bits, _rel, lefts, offset in chunk:
+            per_split = self._level_effects[bits]
+            for position, left_bits in enumerate(lefts):
+                candidate_count, accepted = per_split[offset + position]
+                statistics.plans_built += candidate_count
+                if not accepted:
+                    continue
+                outer_handles = cache.handles(sets[left_bits])
+                inner_handles = cache.handles(sets[bits ^ left_bits])
+                for outer_pos, inner_pos, op_code, cardinality, cost in accepted:
+                    handle = arena.add_join(
+                        op_code,
+                        outer_handles[outer_pos],
+                        inner_handles[inner_pos],
+                        cardinality,
+                        cost,
+                    )
+                    cache.insert(handle, level_alpha)
+
+    def _compute_level(self, level: int) -> None:
+        """Compute a whole level's split decisions through the coordinator."""
+        from repro.dist.dp import compute_dp_level  # local: avoids an import cycle
+
+        subsets = list(combinations(self._tables, level))
+        if self._num_tables <= _MAX_NUMPY_BITS:
+            # Warm the position cache before worker threads share it.
+            for left_size in range(1, level):
+                self._split_positions(level, left_size)
+        splits: Dict[int, List[int]] = {}
+        for subset in subsets:
+            splits[self._subset_bits(subset)] = self._left_bits_of(subset)
+        self._level_splits = splits
+        self._level_effects = compute_dp_level(
+            batch_model=self._batch_model,
+            cache=self._cache,
+            sets=self._sets,
+            splits=splits,
+            level_alpha=self._level_alpha,
+            workers=self._workers,
+            task_cache=self._task_cache,
+            lease_timeout=self._lease_timeout,
+            on_lease=self._on_lease,
+        )
+
+
+def make_dp_optimizer(
+    cost_model: MultiObjectiveCostModel,
+    alpha: float = 2.0,
+    tasks_per_step: int = 50,
+    engine: str | None = None,
+    backend: str = "sequential",
+    workers: int = 1,
+    task_cache: "Optional[TaskCache]" = None,
+    lease_timeout: float = 300.0,
+    on_lease: "Optional[Callable[[DPLease], None]]" = None,
+) -> AnytimeOptimizer:
+    """Build a DP(α) optimizer on the resolved plan engine.
+
+    ``engine`` follows the library-wide convention: ``None`` falls back to
+    the ``REPRO_PLAN_ENGINE`` environment variable and then to ``"arena"``
+    (:func:`repro.plans.arena.resolve_plan_engine`).  The coordinator
+    backend exists only on the arena engine.
+    """
+    engine = resolve_plan_engine(engine)
+    if engine == "object":
+        if backend != "sequential":
+            raise ValueError(
+                "backend='coordinator' requires the arena engine; "
+                "the object engine is the sequential reference"
+            )
+        return DPOptimizer(cost_model, alpha=alpha, tasks_per_step=tasks_per_step)
+    return ArenaDPOptimizer(
+        cost_model,
+        alpha=alpha,
+        tasks_per_step=tasks_per_step,
+        backend=backend,
+        workers=workers,
+        task_cache=task_cache,
+        lease_timeout=lease_timeout,
+        on_lease=on_lease,
+    )

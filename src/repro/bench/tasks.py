@@ -450,6 +450,12 @@ def execute_task(
     ``cost_model`` may be passed when the caller already built the task's
     test case (same (cell, case) coordinates); the construction is pure, so
     sharing the instance across the case's leaves cannot change results.
+
+    Reference leaves run the DP scheme on whatever plan engine the
+    ``REPRO_PLAN_ENGINE`` convention resolves (arena by default).  The two
+    engines produce bit-identical frontiers (``tests/test_dp_arena.py``),
+    so provenance hashes, the in-process memo, and the task cache stay
+    engine-agnostic.
     """
     if task.role == ROLE_REFERENCE:
         memo_key: str | None = None

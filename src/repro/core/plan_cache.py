@@ -298,121 +298,28 @@ class ArenaPlanCache:
         """
         if alpha < 1.0:
             raise ValueError(f"approximation factor must be at least 1, got {alpha}")
-        size = batch.size
-        if size == 0:
+        if batch.size == 0:
             return 0
         entry = self._entry(relations)
-        if alpha == 1.0 and size >= _PREFILTER_MIN_BATCH:
-            return self._insert_batch_exact(entry, batch, outer_handles, inner_handles)
-        survivors = self._prefilter(entry, batch, alpha)
-        accepted_count = 0
         model = self._model
-        for position in survivors:
-            row = batch.costs[position]
-            tag = int(batch.tags[position])
-            if self._covered(entry, tag, row, alpha):
-                continue
-            handle = model.realize_candidate(
-                batch, position, outer_handles, inner_handles
-            )
-            self._append_row(entry, handle, tag, row)
-            accepted_count += 1
+
+        def realize(position: int) -> int:
+            return model.realize_candidate(batch, position, outer_handles, inner_handles)
+
+        accepted_count, _ = _insert_batch(entry, batch, alpha, realize)
         return accepted_count
 
     @staticmethod
     def _covered(entry: _ArenaEntry, tag: int, row: np.ndarray, alpha: float) -> bool:
         """Whether a same-tag entry row α-dominates ``row`` (``SigBetter``)."""
-        if not entry.handles:
-            return False
-        tag_match = np.asarray(entry.tags, dtype=np.int64) == tag
-        covered = tag_match & np.all(entry.rows <= alpha * row, axis=1)
-        return bool(covered.any())
+        return _entry_covered(entry, tag, row, alpha)
 
     @staticmethod
     def _append_row(
         entry: _ArenaEntry, handle: int, tag: int, row: np.ndarray
     ) -> None:
         """Append an accepted row, evicting same-tag rows it dominates."""
-        if entry.handles:
-            tag_match = np.asarray(entry.tags, dtype=np.int64) == tag
-            evicted = tag_match & np.all(row <= entry.rows, axis=1)
-            if evicted.any():
-                keep = ~evicted
-                entry.rows = entry.rows[keep]
-                kept_positions = np.flatnonzero(keep).tolist()
-                entry.handles = [entry.handles[k] for k in kept_positions]
-                entry.tags = [entry.tags[k] for k in kept_positions]
-        entry.rows = np.concatenate([entry.rows, row[None, :]])
-        entry.handles.append(handle)
-        entry.tags.append(tag)
-
-    def _insert_batch_exact(
-        self,
-        entry: _ArenaEntry,
-        batch: "CandidateBatch",
-        outer_handles: Sequence[int],
-        inner_handles: Sequence[int],
-    ) -> int:
-        """Whole-batch insertion at α = 1, decomposed per format tag.
-
-        Rows only ever reject or evict rows of their own tag, so sequential
-        insertion splits into independent per-tag processes; each runs as
-        one :func:`batch_insert_masks` kernel call.  The final entry order —
-        surviving existing rows first (original order), then kept batch rows
-        (batch order) — matches sequential insertion, which always appends
-        at the end.
-        """
-        size = batch.size
-        existing_size = entry.rows.shape[0]
-        existing_tags = np.asarray(entry.tags, dtype=np.int64)
-        surviving = np.ones(existing_size, dtype=bool)
-        kept = np.zeros(size, dtype=bool)
-        accepted_count = 0
-        for tag in np.unique(batch.tags).tolist():
-            batch_mask = batch.tags == tag
-            existing_mask = existing_tags == tag
-            accepted_sub, kept_sub, surviving_sub = batch_insert_masks(
-                entry.rows[existing_mask], batch.costs[batch_mask]
-            )
-            accepted_count += int(accepted_sub.sum())
-            kept[np.flatnonzero(batch_mask)[kept_sub]] = True
-            surviving[np.flatnonzero(existing_mask)[~surviving_sub]] = False
-        kept_positions = np.flatnonzero(kept).tolist()
-        model = self._model
-        new_handles = [
-            model.realize_candidate(batch, position, outer_handles, inner_handles)
-            for position in kept_positions
-        ]
-        surviving_positions = np.flatnonzero(surviving).tolist()
-        entry.handles = [
-            entry.handles[k] for k in surviving_positions
-        ] + new_handles
-        entry.tags = [entry.tags[k] for k in surviving_positions] + [
-            int(batch.tags[position]) for position in kept_positions
-        ]
-        entry.rows = np.concatenate(
-            [entry.rows[surviving], batch.costs[kept]]
-        )
-        return accepted_count
-
-    def _prefilter(
-        self, entry: _ArenaEntry, batch: "CandidateBatch", alpha: float
-    ) -> List[int]:
-        """Positions of batch rows *not* α-covered by the pre-batch frontier."""
-        size = batch.size
-        if not entry.handles or size < _PREFILTER_MIN_BATCH:
-            return list(range(size))
-        frontier_tags = np.asarray(entry.tags, dtype=np.int64)
-        covered = np.zeros(size, dtype=bool)
-        for tag in np.unique(batch.tags).tolist():
-            frontier_mask = frontier_tags == tag
-            if not frontier_mask.any():
-                continue
-            batch_mask = batch.tags == tag
-            covered[batch_mask] = approx_dominates_matrix(
-                entry.rows[frontier_mask], batch.costs[batch_mask], alpha
-            ).any(axis=0)
-        return np.flatnonzero(~covered).tolist()
+        _entry_append(entry, handle, tag, row)
 
     def clear(self) -> None:
         """Drop every cached plan."""
@@ -422,4 +329,173 @@ class ArenaPlanCache:
         return (
             f"ArenaPlanCache(table_sets={len(self)}, total_plans={self.total_plans})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Entry-level insertion kernels
+# ---------------------------------------------------------------------------
+# The decision logic of ArenaPlanCache, factored over a bare _ArenaEntry so
+# that out-of-cache consumers — the distributed DP workers simulating a
+# subset's insertions before the main thread replays them — share the exact
+# accept/evict decisions with the sequential path.
+
+
+def _entry_covered(
+    entry: _ArenaEntry, tag: int, row: np.ndarray, alpha: float
+) -> bool:
+    """Whether a same-tag entry row α-dominates ``row`` (``SigBetter``)."""
+    if not entry.handles:
+        return False
+    tag_match = np.asarray(entry.tags, dtype=np.int64) == tag
+    covered = tag_match & np.all(entry.rows <= alpha * row, axis=1)
+    return bool(covered.any())
+
+
+def _entry_append(entry: _ArenaEntry, handle: int, tag: int, row: np.ndarray) -> None:
+    """Append an accepted row, evicting same-tag rows it dominates."""
+    if entry.handles:
+        tag_match = np.asarray(entry.tags, dtype=np.int64) == tag
+        evicted = tag_match & np.all(row <= entry.rows, axis=1)
+        if evicted.any():
+            keep = ~evicted
+            entry.rows = entry.rows[keep]
+            kept_positions = np.flatnonzero(keep).tolist()
+            entry.handles = [entry.handles[k] for k in kept_positions]
+            entry.tags = [entry.tags[k] for k in kept_positions]
+    entry.rows = np.concatenate([entry.rows, row[None, :]])
+    entry.handles.append(handle)
+    entry.tags.append(tag)
+
+
+def _entry_prefilter(
+    entry: _ArenaEntry, batch: "CandidateBatch", alpha: float
+) -> List[int]:
+    """Positions of batch rows *not* α-covered by the pre-batch frontier."""
+    size = batch.size
+    if not entry.handles or size < _PREFILTER_MIN_BATCH:
+        return list(range(size))
+    frontier_tags = np.asarray(entry.tags, dtype=np.int64)
+    covered = np.zeros(size, dtype=bool)
+    for tag in np.unique(batch.tags).tolist():
+        frontier_mask = frontier_tags == tag
+        if not frontier_mask.any():
+            continue
+        batch_mask = batch.tags == tag
+        covered[batch_mask] = approx_dominates_matrix(
+            entry.rows[frontier_mask], batch.costs[batch_mask], alpha
+        ).any(axis=0)
+    return np.flatnonzero(~covered).tolist()
+
+
+def _insert_batch_exact(
+    entry: _ArenaEntry,
+    batch: "CandidateBatch",
+    realize,
+) -> Tuple[int, List[int]]:
+    """Whole-batch insertion at α = 1, decomposed per format tag.
+
+    Rows only ever reject or evict rows of their own tag, so sequential
+    insertion splits into independent per-tag processes; each runs as
+    one :func:`batch_insert_masks` kernel call.  The final entry order —
+    surviving existing rows first (original order), then kept batch rows
+    (batch order) — matches sequential insertion, which always appends
+    at the end.  ``realize(position)`` is called only for rows still kept
+    at the end of the batch; the returned accepted positions additionally
+    include rows accepted but evicted by a later batch row (sequential
+    replay needs them to reproduce mid-batch decisions).
+    """
+    size = batch.size
+    existing_size = entry.rows.shape[0]
+    existing_tags = np.asarray(entry.tags, dtype=np.int64)
+    surviving = np.ones(existing_size, dtype=bool)
+    kept = np.zeros(size, dtype=bool)
+    accepted = np.zeros(size, dtype=bool)
+    for tag in np.unique(batch.tags).tolist():
+        batch_mask = batch.tags == tag
+        existing_mask = existing_tags == tag
+        accepted_sub, kept_sub, surviving_sub = batch_insert_masks(
+            entry.rows[existing_mask], batch.costs[batch_mask]
+        )
+        batch_positions = np.flatnonzero(batch_mask)
+        accepted[batch_positions[accepted_sub]] = True
+        kept[batch_positions[kept_sub]] = True
+        surviving[np.flatnonzero(existing_mask)[~surviving_sub]] = False
+    kept_positions = np.flatnonzero(kept).tolist()
+    new_handles = [realize(position) for position in kept_positions]
+    surviving_positions = np.flatnonzero(surviving).tolist()
+    entry.handles = [entry.handles[k] for k in surviving_positions] + new_handles
+    entry.tags = [entry.tags[k] for k in surviving_positions] + [
+        int(batch.tags[position]) for position in kept_positions
+    ]
+    entry.rows = np.concatenate([entry.rows[surviving], batch.costs[kept]])
+    accepted_positions = np.flatnonzero(accepted).tolist()
+    return len(accepted_positions), accepted_positions
+
+
+def _insert_batch_sequential(
+    entry: _ArenaEntry,
+    batch: "CandidateBatch",
+    alpha: float,
+    realize,
+) -> Tuple[int, List[int]]:
+    """Pre-filtered sequential insertion against the evolving frontier."""
+    survivors = _entry_prefilter(entry, batch, alpha)
+    accepted_positions: List[int] = []
+    for position in survivors:
+        row = batch.costs[position]
+        tag = int(batch.tags[position])
+        if _entry_covered(entry, tag, row, alpha):
+            continue
+        handle = realize(position)
+        _entry_append(entry, handle, tag, row)
+        accepted_positions.append(position)
+    return len(accepted_positions), accepted_positions
+
+
+def _insert_batch(
+    entry: _ArenaEntry,
+    batch: "CandidateBatch",
+    alpha: float,
+    realize,
+) -> Tuple[int, List[int]]:
+    """Insert a costed batch into one entry; returns (count, positions).
+
+    Dispatches between the α = 1 whole-batch kernel and the pre-filtered
+    sequential path with the same thresholds as
+    :meth:`ArenaPlanCache.insert_candidates`; the accepted positions are in
+    acceptance (= batch) order either way.
+    """
+    if alpha == 1.0 and batch.size >= _PREFILTER_MIN_BATCH:
+        return _insert_batch_exact(entry, batch, realize)
+    return _insert_batch_sequential(entry, batch, alpha, realize)
+
+
+class FrontierSimulator:
+    """Replays :class:`ArenaPlanCache` insertion decisions off to the side.
+
+    A distributed DP worker owns the frontier of exactly one table subset —
+    which starts empty and is touched by nobody else — so it can decide
+    accept/evict for that subset on a private scratch entry without
+    realizing any arena node.  The accepted batch positions it reports are
+    later replayed (in order) into the real cache by the coordinator's
+    reduce step, reproducing the sequential engine bit for bit.
+    """
+
+    def __init__(self, num_metrics: int) -> None:
+        self._entry = _ArenaEntry(num_metrics)
+
+    def insert_batch(self, batch: "CandidateBatch", alpha: float) -> List[int]:
+        """Positions sequential insertion would accept; updates the scratch
+        entry in place (placeholder handles — they are never dereferenced)."""
+        if batch.size == 0:
+            return []
+        _, positions = _insert_batch(
+            self._entry, batch, alpha, lambda position: -1 - position
+        )
+        return positions
+
+    @property
+    def size(self) -> int:
+        """Number of rows currently on the scratch frontier."""
+        return len(self._entry.handles)
 

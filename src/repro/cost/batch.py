@@ -28,7 +28,7 @@ and the vectorized kernels perform the same IEEE-754 operations (pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -106,6 +106,28 @@ class CandidateBatch:
     def size(self) -> int:
         """Number of candidates in the batch."""
         return self.costs.shape[0]
+
+
+@dataclass(frozen=True)
+class _CrossDescription:
+    """One laid-out frontier cross product awaiting node costing.
+
+    Everything :meth:`BatchCostModel.join_candidates` derives before the
+    per-node cost kernels run; ``join_candidates_multi`` concatenates several
+    of these so the kernels run once per operator over a whole level.
+    """
+
+    op_codes: np.ndarray
+    outer_pos: np.ndarray
+    inner_pos: np.ndarray
+    cardinalities: np.ndarray
+    #: Outer/inner input cardinalities gathered per candidate.
+    outer_cards_pc: np.ndarray
+    inner_cards_pc: np.ndarray
+    #: ``outer_cost + inner_cost`` rows per candidate (node costs are added).
+    base_costs: np.ndarray
+    #: Per-operator candidate position arrays (derived from the tiling).
+    groups: Dict[int, np.ndarray]
 
 
 class BatchCostModel:
@@ -472,33 +494,26 @@ class BatchCostModel:
         return node
 
     # ------------------------------------------------- frontier cross product
-    def join_candidates(
+    def _empty_batch(self) -> CandidateBatch:
+        empty = np.empty(0, dtype=np.int64)
+        return CandidateBatch(
+            costs=np.empty((0, self.num_metrics)), cardinalities=np.empty(0),
+            op_codes=empty, tags=empty, outer_pos=empty, inner_pos=empty,
+        )
+
+    def _describe_cross(
         self, outer_handles: Sequence[int], inner_handles: Sequence[int]
-    ) -> CandidateBatch:
-        """Cost the cross product of two partial-plan frontiers.
+    ) -> "Optional[_CrossDescription]":
+        """Lay out one frontier cross product: everything but the node costs.
 
-        All handles on one side must join the **same table set** (the lists
-        are partial-plan frontiers of two fixed intermediate results, as in
-        ``ApproximateFrontiers``): the join selectivity is computed once
-        for that pair of table sets.  Mixed-relation inputs are rejected.
-
-        All ``|outer| × |inner| × |applicable operators|`` candidate joins
-        are costed in array expressions (one kernel pass per distinct
-        operator); no arena nodes are created.  The batch row order matches
-        the scalar loop ``for outer: for inner: for op``, so inserting the
-        rows sequentially into a frontier reproduces the object path
-        decision for decision.
+        Returns ``None`` for an empty cross product.  The per-candidate
+        arrays are in the scalar loop order ``for outer: for inner: for op``.
         """
         arena = self._arena
         num_outer = len(outer_handles)
         num_inner = len(inner_handles)
-        dim = self.num_metrics
         if num_outer == 0 or num_inner == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return CandidateBatch(
-                costs=np.empty((0, dim)), cardinalities=np.empty(0),
-                op_codes=empty, tags=empty, outer_pos=empty, inner_pos=empty,
-            )
+            return None
         outer_rel = arena.rel(outer_handles[0])
         inner_rel = arena.rel(inner_handles[0])
         for side, rel, handles in (
@@ -515,9 +530,7 @@ class BatchCostModel:
         inner_idx = np.asarray(inner_handles, dtype=np.int64)
         outer_cards = arena.cardinalities_of(outer_idx)
         inner_cards = arena.cardinalities_of(inner_idx)
-        outer_costs = arena.costs_of(outer_idx)
-        inner_costs = arena.costs_of(inner_idx)
-        selectivity = self._query.selectivity_between(outer_rel, inner_rel)
+        selectivity = self._selectivity(outer_rel, inner_rel)
         products = outer_cards[:, None] * inner_cards[None, :] * selectivity
         output_cards = np.where(products > 1.0, products, 1.0)
 
@@ -544,20 +557,110 @@ class BatchCostModel:
             ).ravel()
             for code in np.unique(pattern_ops).tolist()
         }
-        node_costs = self._node_costs_grouped(
-            outer_cards[outer_pos], inner_cards[inner_pos], cardinalities, op_codes,
-            groups,
-        )
-        totals = (outer_costs[outer_pos] + inner_costs[inner_pos]) + node_costs
-        tags = arena.format_codes_of_ops(op_codes)
-        return CandidateBatch(
-            costs=totals,
-            cardinalities=cardinalities,
+        return _CrossDescription(
             op_codes=op_codes,
-            tags=tags,
             outer_pos=outer_pos,
             inner_pos=inner_pos,
+            cardinalities=cardinalities,
+            outer_cards_pc=outer_cards[outer_pos],
+            inner_cards_pc=inner_cards[inner_pos],
+            base_costs=arena.costs_of(outer_idx)[outer_pos]
+            + arena.costs_of(inner_idx)[inner_pos],
+            groups=groups,
         )
+
+    def _assemble_batch(
+        self, description: "_CrossDescription", node_costs: np.ndarray
+    ) -> CandidateBatch:
+        totals = description.base_costs + node_costs
+        return CandidateBatch(
+            costs=totals,
+            cardinalities=description.cardinalities,
+            op_codes=description.op_codes,
+            tags=self._arena.format_codes_of_ops(description.op_codes),
+            outer_pos=description.outer_pos,
+            inner_pos=description.inner_pos,
+        )
+
+    def join_candidates(
+        self, outer_handles: Sequence[int], inner_handles: Sequence[int]
+    ) -> CandidateBatch:
+        """Cost the cross product of two partial-plan frontiers.
+
+        All handles on one side must join the **same table set** (the lists
+        are partial-plan frontiers of two fixed intermediate results, as in
+        ``ApproximateFrontiers``): the join selectivity is computed once
+        for that pair of table sets.  Mixed-relation inputs are rejected.
+
+        All ``|outer| × |inner| × |applicable operators|`` candidate joins
+        are costed in array expressions (one kernel pass per distinct
+        operator); no arena nodes are created.  The batch row order matches
+        the scalar loop ``for outer: for inner: for op``, so inserting the
+        rows sequentially into a frontier reproduces the object path
+        decision for decision.
+        """
+        description = self._describe_cross(outer_handles, inner_handles)
+        if description is None:
+            return self._empty_batch()
+        node_costs = self._node_costs_grouped(
+            description.outer_cards_pc,
+            description.inner_cards_pc,
+            description.cardinalities,
+            description.op_codes,
+            description.groups,
+        )
+        return self._assemble_batch(description, node_costs)
+
+    def join_candidates_multi(
+        self, pairs: Sequence[Tuple[Sequence[int], Sequence[int]]]
+    ) -> List[CandidateBatch]:
+        """Cost many frontier cross products in one grouped kernel pass.
+
+        ``pairs`` is a list of ``(outer_handles, inner_handles)`` frontier
+        pairs — e.g. every (left, right) split a DP step processes within
+        one subset level.  The candidates of all pairs are concatenated and
+        the per-node cost kernels run once per distinct operator over the
+        whole concatenation instead of once per pair, amortizing kernel
+        dispatch over the level.  Every built-in kernel is elementwise per
+        candidate, so each returned batch is bit-identical to the
+        corresponding :meth:`join_candidates` call (pinned by
+        ``tests/test_dp_arena.py``).
+        """
+        descriptions = [
+            self._describe_cross(outer_handles, inner_handles)
+            for outer_handles, inner_handles in pairs
+        ]
+        live = [d for d in descriptions if d is not None]
+        if not live:
+            return [self._empty_batch() for _ in descriptions]
+        merged_groups: Dict[int, List[np.ndarray]] = {}
+        offset = 0
+        for description in live:
+            for code, positions in description.groups.items():
+                merged_groups.setdefault(code, []).append(positions + offset)
+            offset += description.op_codes.shape[0]
+        node_costs = self._node_costs_grouped(
+            np.concatenate([d.outer_cards_pc for d in live]),
+            np.concatenate([d.inner_cards_pc for d in live]),
+            np.concatenate([d.cardinalities for d in live]),
+            np.concatenate([d.op_codes for d in live]),
+            {
+                code: np.concatenate(chunks)
+                for code, chunks in merged_groups.items()
+            },
+        )
+        batches: List[CandidateBatch] = []
+        offset = 0
+        for description in descriptions:
+            if description is None:
+                batches.append(self._empty_batch())
+                continue
+            size = description.op_codes.shape[0]
+            batches.append(
+                self._assemble_batch(description, node_costs[offset : offset + size])
+            )
+            offset += size
+        return batches
 
     def realize_candidate(
         self,

@@ -26,6 +26,13 @@ On step-driven specs every mode is bit-identical to a sequential
 
 from repro.dist.cache import TaskCache
 from repro.dist.coordinator import Coordinator, Lease, LeaseValidationError
+from repro.dist.dp import (
+    DPLevelResult,
+    DPLevelTask,
+    compute_dp_level,
+    dp_provenance_signature,
+    dp_subset_key,
+)
 from repro.dist.protocol import collect_results, init_workdir, run_worker
 from repro.dist.worker import Worker, run_coordinated
 
@@ -39,4 +46,9 @@ __all__ = [
     "init_workdir",
     "run_worker",
     "collect_results",
+    "DPLevelTask",
+    "DPLevelResult",
+    "compute_dp_level",
+    "dp_provenance_signature",
+    "dp_subset_key",
 ]

@@ -44,6 +44,10 @@ from repro.bench.tasks import (
 #: Version tag of the cache entry file format.
 CACHE_ENTRY_FORMAT = "repro-task-cache-v1"
 
+#: Version tag of raw-key entries (subsystems that hash their own
+#: provenance, e.g. per-subset DP reductions in :mod:`repro.dist.dp`).
+CACHE_RAW_FORMAT = "repro-task-cache-raw-v1"
+
 
 def write_json_atomic(path: str, payload: dict) -> None:
     """Write a JSON file atomically (temp file + ``os.replace``).
@@ -203,6 +207,66 @@ class TaskCache:
                 "task_id": result.task.task_id,
                 "result": result.to_json_dict(),
             },
+        )
+        self._stats["stores"] += 1
+        if self._max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                try:
+                    self._approx_bytes += os.path.getsize(path)
+                except OSError:
+                    pass
+            if self._approx_bytes > self._max_bytes:
+                self._enforce_cap(keep=path)
+        return key
+
+    # -------------------------------------------------------- raw-key entries
+    def get_raw(self, key: str) -> Optional[dict]:
+        """The JSON payload cached under a caller-computed provenance key.
+
+        The raw-key API serves subsystems whose provenance is not a
+        :class:`~repro.bench.tasks.TaskSpec` — the caller hashes everything
+        that determines its result (see ``repro.dist.dp.dp_subset_key``) and
+        stores an arbitrary JSON-serializable payload.  Raw entries share
+        the directory tree, atomic writes, stats, and LRU policy with task
+        entries but carry their own format tag, so neither API can misread
+        the other's files.
+        """
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("format") != CACHE_RAW_FORMAT or entry.get("key") != key:
+                raise ValueError("foreign or stale cache entry")
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self._stats["misses"] += 1
+            return None
+        self._stats["hits"] += 1
+        if self._max_bytes is not None:
+            self._touch(self._entry_path(key))
+        return payload
+
+    def put_raw(self, key: str, payload: dict) -> str:
+        """Store a JSON payload under a caller-computed key; returns the key.
+
+        The caller vouches for determinism: the key must cover every input
+        that can affect the payload.
+        """
+        path = self._entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if existing.get("format") == CACHE_RAW_FORMAT and existing.get("key") == key:
+                if self._max_bytes is not None:
+                    self._touch(path)
+                return key
+        except (OSError, ValueError):
+            pass
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        write_json_atomic(
+            path,
+            {"format": CACHE_RAW_FORMAT, "key": key, "payload": payload},
         )
         self._stats["stores"] += 1
         if self._max_bytes is not None:

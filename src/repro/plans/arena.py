@@ -129,6 +129,10 @@ class PlanArena:
         self._op_list: List[int] = []
         self._card_list: List[float] = []
         self._rel: List[FrozenSet[int]] = []
+        # Bitset twin of the rel side-car (bit t set ⇔ table t joined);
+        # maintained in O(1) per node (scan: 1 << t, join: outer | inner).
+        # Python ints, so queries beyond 64 tables stay exact.
+        self._rel_bits: List[int] = []
         self._cost_tuples: List[Tuple[float, ...]] = []
         self._op_format_code_list: List[int] = [
             int(code) for code in self._op_format_codes
@@ -196,6 +200,14 @@ class PlanArena:
     def rel(self, handle: int) -> FrozenSet[int]:
         """The set of table indices joined by the node (``p.rel``)."""
         return self._rel[handle]
+
+    def rel_bits(self, handle: int) -> int:
+        """The node's joined table set as an int bitset (bit t ⇔ table t).
+
+        The subset-lattice DP keys its bookkeeping by these bitsets; two
+        handles join the same table set iff their ``rel_bits`` are equal.
+        """
+        return self._rel_bits[handle]
 
     def output_format(self, handle: int) -> DataFormat:
         """Output data representation of the node."""
@@ -273,7 +285,9 @@ class PlanArena:
         handle = self._nodes.get(key)
         if handle is not None:
             return handle
-        return self._append(key, frozenset((table_index,)), cardinality, cost)
+        return self._append(
+            key, frozenset((table_index,)), 1 << table_index, cardinality, cost
+        )
 
     def add_join(
         self,
@@ -289,7 +303,8 @@ class PlanArena:
         if handle is not None:
             return handle
         rel = self._rel[outer] | self._rel[inner]
-        return self._append(key, rel, cardinality, cost)
+        rel_bits = self._rel_bits[outer] | self._rel_bits[inner]
+        return self._append(key, rel, rel_bits, cardinality, cost)
 
     def find_join(self, op_code: int, outer: int, inner: int) -> int | None:
         """Handle of an existing join node, or ``None``."""
@@ -303,6 +318,7 @@ class PlanArena:
         self,
         key: Tuple[int, int, int],
         rel: FrozenSet[int],
+        rel_bits: int,
         cardinality: float,
         cost: Sequence[float],
     ) -> int:
@@ -318,6 +334,7 @@ class PlanArena:
         self._op_list.append(key[0])
         self._card_list.append(cardinality)
         self._rel.append(rel)
+        self._rel_bits.append(rel_bits)
         self._cost_tuples.append(row)
         self._nodes[key] = handle
         self._size += 1

@@ -62,7 +62,7 @@ class TestExamplesRun:
         module = load_example("large_query_scaling")
         # Keep the per-query budget tiny; the point is that every size yields plans.
         original_sizes = (10, 25, 50, 75, 100)
-        module.main(budget=0.1, seed=1, store_demo_plans=150)
+        module.main(budget=0.1, seed=1, store_demo_plans=150, dp_tables=(6,))
         output = capsys.readouterr().out
         for size in original_sizes:
             assert str(size) in output
@@ -71,6 +71,16 @@ class TestExamplesRun:
         for store in ("flat", "sorted", "ndtree", "auto"):
             assert store in output
         assert "all stores kept identical frontiers" in output
+        # The vectorized-DP section promised in the module docstring.
+        assert "DP reference scaling" in output
+        assert "DP(Infinity)" in output
+        assert "arena engine" in output
+
+    def test_large_query_scaling_dp_section_optional(self, capsys):
+        module = load_example("large_query_scaling")
+        module.main(budget=0.05, seed=1, store_demo_plans=0, dp_tables=())
+        output = capsys.readouterr().out
+        assert "DP reference scaling" not in output
 
     def test_interactive_frontier(self, capsys):
         module = load_example("interactive_frontier")
