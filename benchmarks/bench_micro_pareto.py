@@ -43,9 +43,11 @@ The headline target is arena ≥ 5× object.
 
 The *DP* section measures end-to-end DP(α) throughput on an 8-table chain
 with 3 metrics and α = 2 — the full 3^8 subset-split lattice — under the
-``object`` engine, the ``arena`` engine, and the arena engine's 2-worker
-coordinator backend, asserts all three are bit-identical, and writes
-``BENCH_dp.json``.  The headline target is arena ≥ 5× object.
+``object`` engine, the ``arena`` engine, and the arena engine's
+coordinator backend over the shared-memory task fabric with 1, 2, and 4
+workers, asserts all modes are bit-identical, and writes ``BENCH_dp.json``
+(including per-worker-count ``parallel_efficiency``).  The headline
+targets are arena ≥ 5× object and 4-worker coordinator ≥ 1.5× arena.
 
 Run as a script (``python benchmarks/bench_micro_pareto.py``) or via pytest
 (``pytest benchmarks/bench_micro_pareto.py``).
@@ -446,6 +448,9 @@ def run_coordinator_benchmark(write_json: bool = True) -> Dict[str, object]:
     sequential = run_scenario(spec, workers=1)
     seconds: Dict[str, float] = {}
     matches: Dict[str, bool] = {}
+    seconds["sequential"] = min(
+        _timeit.repeat(lambda: run_scenario(spec, workers=1), number=1, repeat=3)
+    )
     for name, kwargs in (
         ("coordinator_1_worker", dict(backend="coordinator", workers=1)),
         ("coordinator_2_workers", dict(backend="coordinator", workers=2)),
@@ -478,6 +483,13 @@ def run_coordinator_benchmark(write_json: bool = True) -> Dict[str, object]:
         "tasks_per_second": {
             name: num_tasks / elapsed for name, elapsed in seconds.items()
         },
+        # Coordinator throughput over the sequential runner, normalized by
+        # worker count (> 1/workers means the backend pays for itself).
+        "parallel_efficiency": {
+            "1_worker": seconds["sequential"] / seconds["coordinator_1_worker"],
+            "2_workers":
+                seconds["sequential"] / seconds["coordinator_2_workers"] / 2,
+        },
         "warm_cache_hits": warm_hits,
         "matches_sequential": matches,
     }
@@ -496,6 +508,7 @@ def _format_coordinator_report(report: Dict[str, object]) -> str:
         f"tasks, step checkpoints {report['step_checkpoints']}):"
     ]
     for name in (
+        "sequential",
         "coordinator_1_worker",
         "coordinator_2_workers",
         "coordinator_cold_cache",
@@ -505,6 +518,11 @@ def _format_coordinator_report(report: Dict[str, object]) -> str:
             f"  {name:<24} {seconds[name] * 1e3:8.2f} ms "
             f"({rates[name]:.1f} tasks/s)"
         )
+    efficiency = report["parallel_efficiency"]
+    lines.append(
+        f"  parallel efficiency: 1 worker {efficiency['1_worker']:.2f}, "
+        f"2 workers {efficiency['2_workers']:.2f}"
+    )
     lines.append(
         f"  warm cache hits: {report['warm_cache_hits']}/{report['num_tasks']}"
     )
@@ -645,6 +663,9 @@ DP_NUM_TABLES = 8
 DP_NUM_METRICS = 3
 DP_ALPHA = 2.0
 DP_TARGET_SPEEDUP = 5.0
+#: Shared-memory fabric acceptance bar: 4-worker coordinator throughput
+#: relative to the sequential arena engine on the same workload.
+DP_COORDINATOR_TARGET_SPEEDUP = 1.5
 
 
 def _dp_workload():
@@ -658,16 +679,21 @@ def _dp_workload():
     return MultiObjectiveCostModel(query, metrics=("time", "buffer", "disk"))
 
 
-def _run_dp(model, **kwargs):
+def _run_dp(model, repeats: int = 1, **kwargs):
     from repro.baselines.dp import make_dp_optimizer
 
-    optimizer = make_dp_optimizer(model, alpha=DP_ALPHA, tasks_per_step=1000, **kwargs)
-    started = timeit.default_timer()
-    while not optimizer.finished:
-        optimizer.step()
-    elapsed = timeit.default_timer() - started
-    frontier = sorted(plan.cost for plan in optimizer.frontier())
-    return elapsed, frontier, optimizer.statistics.plans_built
+    best = float("inf")
+    for _ in range(repeats):
+        optimizer = make_dp_optimizer(
+            model, alpha=DP_ALPHA, tasks_per_step=1000, **kwargs
+        )
+        started = timeit.default_timer()
+        while not optimizer.finished:
+            optimizer.step()
+        best = min(best, timeit.default_timer() - started)
+        frontier = sorted(plan.cost for plan in optimizer.frontier())
+        built = optimizer.statistics.plans_built
+    return best, frontier, built
 
 
 def run_dp_benchmark(write_json: bool = True) -> Dict[str, object]:
@@ -683,20 +709,33 @@ def run_dp_benchmark(write_json: bool = True) -> Dict[str, object]:
     seconds: Dict[str, float] = {}
     frontiers: Dict[str, list] = {}
     plans_built: Dict[str, int] = {}
-    for name, kwargs in (
+    coordinator_workers = (1, 2, 4)
+    modes = [
         ("object", dict(engine="object")),
         ("arena", dict(engine="arena")),
-        ("arena_coordinator_2_workers",
-         dict(engine="arena", backend="coordinator", workers=2)),
-    ):
-        seconds[name], frontiers[name], plans_built[name] = _run_dp(model, **kwargs)
-    for name in ("arena", "arena_coordinator_2_workers"):
+    ] + [
+        (f"arena_coordinator_{count}_workers",
+         dict(engine="arena", backend="coordinator", workers=count))
+        for count in coordinator_workers
+    ]
+    for name, kwargs in modes:
+        # The object engine's single run is long enough to be stable; the
+        # faster modes take the best of two so scheduler noise cannot
+        # invert the recorded ratios.
+        repeats = 1 if name == "object" else 2
+        seconds[name], frontiers[name], plans_built[name] = _run_dp(
+            model, repeats=repeats, **kwargs
+        )
+    for name, _ in modes[1:]:
         assert frontiers[name] == frontiers["object"], (
             f"DP mode {name!r} disagrees with the object engine on the frontier"
         )
         assert plans_built[name] == plans_built["object"], (
             f"DP mode {name!r} disagrees on the work counter"
         )
+    rates = {
+        name: plans_built["object"] / elapsed for name, elapsed in seconds.items()
+    }
     report: Dict[str, object] = {
         "num_tables": DP_NUM_TABLES,
         "num_metrics": DP_NUM_METRICS,
@@ -705,12 +744,26 @@ def run_dp_benchmark(write_json: bool = True) -> Dict[str, object]:
         "frontier_size": len(frontiers["object"]),
         "plans_built": plans_built["object"],
         "seconds": seconds,
-        "plans_per_second": {
-            name: plans_built["object"] / elapsed
-            for name, elapsed in seconds.items()
-        },
+        "plans_per_second": rates,
         "speedup_arena_vs_object": seconds["object"] / seconds["arena"],
         "target_speedup": DP_TARGET_SPEEDUP,
+        # Coordinator throughput relative to the sequential arena engine
+        # (the fabric's acceptance bar is the 4-worker ratio), plus the
+        # classic per-worker efficiency of the same ratio.  On a single
+        # hardware thread the ratio above 1.0 is pipeline efficiency, not
+        # parallelism — see ARCHITECTURE.md.
+        "speedup_coordinator_vs_arena": {
+            f"{count}_workers":
+                rates[f"arena_coordinator_{count}_workers"] / rates["arena"]
+            for count in coordinator_workers
+        },
+        "parallel_efficiency": {
+            f"{count}_workers":
+                rates[f"arena_coordinator_{count}_workers"]
+                / rates["arena"] / count
+            for count in coordinator_workers
+        },
+        "coordinator_target_speedup": DP_COORDINATOR_TARGET_SPEEDUP,
     }
     if write_json:
         with open(DP_RESULT_PATH, "w", encoding="utf-8") as handle:
@@ -721,37 +774,45 @@ def run_dp_benchmark(write_json: bool = True) -> Dict[str, object]:
 
 def _format_dp_report(report: Dict[str, object]) -> str:
     rates = report["plans_per_second"]
-    return "\n".join(
-        [
-            f"DP end-to-end throughput micro-benchmark "
-            f"({report['num_tables']}-table chain, {report['num_metrics']} "
-            f"metrics, alpha={report['alpha']}, "
-            f"{report['plans_built']} candidate plans):",
-            f"  object engine          {rates['object']:12.0f} plans/s",
-            f"  arena engine           {rates['arena']:12.0f} plans/s "
-            f"({report['speedup_arena_vs_object']:.2f}x, "
-            f"target {report['target_speedup']:.0f}x)",
-            f"  arena + 2-worker coord {rates['arena_coordinator_2_workers']:12.0f} "
-            f"plans/s",
-            f"  frontier size {report['frontier_size']} "
-            f"(bit-identical across all modes)",
-        ]
+    lines = [
+        f"DP end-to-end throughput micro-benchmark "
+        f"({report['num_tables']}-table chain, {report['num_metrics']} "
+        f"metrics, alpha={report['alpha']}, "
+        f"{report['plans_built']} candidate plans):",
+        f"  object engine          {rates['object']:12.0f} plans/s",
+        f"  arena engine           {rates['arena']:12.0f} plans/s "
+        f"({report['speedup_arena_vs_object']:.2f}x, "
+        f"target {report['target_speedup']:.0f}x)",
+    ]
+    for key, speedup in report["speedup_coordinator_vs_arena"].items():
+        count = key.split("_")[0]
+        efficiency = report["parallel_efficiency"][key]
+        lines.append(
+            f"  arena + {count}-worker coord "
+            f"{rates[f'arena_coordinator_{count}_workers']:12.0f} plans/s "
+            f"({speedup:.2f}x arena, efficiency {efficiency:.2f})"
+        )
+    lines.append(
+        f"  frontier size {report['frontier_size']} "
+        f"(bit-identical across all modes)"
     )
+    return "\n".join(lines)
 
 
 def test_dp_arena_speedup_recorded():
     """The arena DP engine must clearly beat the object engine.
 
-    The headline number (≥ 5× on this machine class) is recorded in
-    ``BENCH_dp.json``; the assertion uses a lower bar so the check stays
-    robust on loaded CI runners.  Frontier and work-counter bit-identity
-    across engines and the coordinator backend is asserted inside the
-    benchmark.
+    The headline numbers — arena ≥ 5× object, 4-worker coordinator ≥ 1.5×
+    sequential arena — are recorded in ``BENCH_dp.json``; the assertions
+    use lower bars so the check stays robust on loaded CI runners.
+    Frontier and work-counter bit-identity across engines and the
+    coordinator backend is asserted inside the benchmark.
     """
     report = run_dp_benchmark()
     print()
     print(_format_dp_report(report))
     assert report["speedup_arena_vs_object"] > 2.5
+    assert report["speedup_coordinator_vs_arena"]["4_workers"] > 1.0
 
 
 def main() -> int:

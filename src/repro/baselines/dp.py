@@ -40,6 +40,7 @@ result for larger queries within the time budget.
 
 from __future__ import annotations
 
+import weakref
 from itertools import combinations
 from typing import (
     TYPE_CHECKING,
@@ -323,10 +324,27 @@ class ArenaDPOptimizer(AnytimeOptimizer):
         self._level = 1
         self._level_iter: Iterator[Tuple[int, ...]] = iter(())
         self._current: Optional[_SubsetCursor] = None
-        # Coordinator state: current level's per-split recorded decisions
-        # (bits -> list of (candidate_count, accepted rows)) and split lists.
-        self._level_effects: Optional[Dict[int, list]] = None
+        # Coordinator state: current level's packed per-subset decisions
+        # (bits -> SubsetEffects) and split lists.
+        self._level_effects: Optional[Dict[int, object]] = None
         self._level_splits: Optional[Dict[int, List[int]]] = None
+        # The shared-memory task fabric (coordinator backend only): a
+        # persistent worker-process pool plus published arena/frontier
+        # segments.  ``create`` declines (None) on unsupported setups —
+        # forced ``REPRO_DP_FABRIC=threads``, > 62 tables, no fork — and
+        # the level computation then runs on in-process threads instead,
+        # bit-identically.  Created before any worker thread exists so the
+        # pool never forks a threaded process.
+        self._fabric = None
+        self._fabric_finalizer = None
+        if backend == "coordinator":
+            from repro.dist.shm import ShmTaskFabric
+
+            self._fabric = ShmTaskFabric.create(self._batch_model, workers)
+            if self._fabric is not None:
+                self._fabric_finalizer = weakref.finalize(
+                    self, ShmTaskFabric.close, self._fabric
+                )
 
     # ------------------------------------------------------------ accessors
     @property
@@ -369,10 +387,25 @@ class ArenaDPOptimizer(AnytimeOptimizer):
             chunk = self._next_chunk(remaining)
             if chunk is None:
                 self._finished = True
+                self.close()
                 break
             self._process_chunk(chunk)
             remaining -= sum(len(lefts) for _, _, lefts, _ in chunk)
         self.statistics.steps += 1
+
+    def close(self) -> None:
+        """Release the shared-memory fabric (pool + segments).  Idempotent.
+
+        Runs automatically when the DP finishes and again from a finalizer
+        when the optimizer is garbage collected, so segments never outlive
+        their run even on error paths.
+        """
+        if self._fabric is not None:
+            self._fabric.close()
+            self._fabric = None
+        if self._fabric_finalizer is not None:
+            self._fabric_finalizer.detach()
+            self._fabric_finalizer = None
 
     def frontier(self) -> List[Plan]:
         """Plans for the full query table set (empty until DP completes it)."""
@@ -528,26 +561,49 @@ class ArenaDPOptimizer(AnytimeOptimizer):
         cache = self._cache
         sets = self._sets
         arena = self._batch_model.arena
-        level_alpha = self._level_alpha
         statistics = self.statistics
-        for bits, _rel, lefts, offset in chunk:
-            per_split = self._level_effects[bits]
+        for bits, rel, lefts, offset in chunk:
+            subset_effects = self._level_effects[bits]
+            runs: List[Tuple[np.ndarray, List[int], List[int]]] = []
             for position, left_bits in enumerate(lefts):
-                candidate_count, accepted = per_split[offset + position]
+                candidate_count, records = subset_effects.split(offset + position)
                 statistics.plans_built += candidate_count
-                if not accepted:
-                    continue
-                outer_handles = cache.handles(sets[left_bits])
-                inner_handles = cache.handles(sets[bits ^ left_bits])
-                for outer_pos, inner_pos, op_code, cardinality, cost in accepted:
-                    handle = arena.add_join(
+                if records.shape[0]:
+                    runs.append((
+                        records,
+                        cache.handles(sets[left_bits]),
+                        cache.handles(sets[bits ^ left_bits]),
+                    ))
+            if not runs:
+                continue
+            handles: List[int] = []
+            for records, outer_handles, inner_handles in runs:
+                outers = records["outer"].tolist()
+                inners = records["inner"].tolist()
+                op_codes = records["op"].tolist()
+                cardinalities = records["card"].tolist()
+                cost_rows = records["cost"]
+                for index, op_code in enumerate(op_codes):
+                    handles.append(arena.add_join(
                         op_code,
-                        outer_handles[outer_pos],
-                        inner_handles[inner_pos],
-                        cardinality,
-                        cost,
-                    )
-                    cache.insert(handle, level_alpha)
+                        outer_handles[outers[index]],
+                        inner_handles[inners[index]],
+                        cardinalities[index],
+                        cost_rows[index],
+                    ))
+            # The worker already took the (always-true) accept decisions on
+            # identical frontier state; replay only needs insert()'s
+            # eviction side, batched over this chunk's run of the subset.
+            if len(runs) == 1:
+                all_records = runs[0][0]
+            else:
+                all_records = np.concatenate([run[0] for run in runs])
+            cache.replay_accept_batch(
+                rel,
+                handles,
+                arena.format_codes_of_ops(all_records["op"]),
+                all_records["cost"],
+            )
 
     def _compute_level(self, level: int) -> None:
         """Compute a whole level's split decisions through the coordinator."""
@@ -562,6 +618,16 @@ class ArenaDPOptimizer(AnytimeOptimizer):
         for subset in subsets:
             splits[self._subset_bits(subset)] = self._left_bits_of(subset)
         self._level_splits = splits
+        if self._fabric is not None:
+            # The previous level's frontiers are final the moment its last
+            # insertion replayed; queue them for publication (the flush —
+            # arena delta plus these handle runs — happens inside
+            # compute_dp_level, and only if the level has cache misses).
+            for subset in combinations(self._tables, level - 1):
+                self._fabric.queue_frontier(
+                    self._subset_bits(subset),
+                    self._cache.handles_array(frozenset(subset)),
+                )
         self._level_effects = compute_dp_level(
             batch_model=self._batch_model,
             cache=self._cache,
@@ -572,6 +638,7 @@ class ArenaDPOptimizer(AnytimeOptimizer):
             task_cache=self._task_cache,
             lease_timeout=self._lease_timeout,
             on_lease=self._on_lease,
+            fabric=self._fabric,
         )
 
 

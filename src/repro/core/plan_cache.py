@@ -32,6 +32,7 @@ from repro.pareto.engine import (
     ParetoSet,
     approx_dominates_matrix,
     batch_insert_masks,
+    dominates_matrix,
 )
 from repro.plans.plan import Plan
 
@@ -219,6 +220,18 @@ class ArenaPlanCache:
         entry = self._entries.get(frozenset(relations))
         return list(entry.handles) if entry is not None else []
 
+    def handles_array(self, relations: FrozenSet[int] | Iterable[int]) -> np.ndarray:
+        """Cached plan handles for one table set as an int64 array.
+
+        The form the shared-memory task fabric publishes frontiers in: one
+        contiguous handle run per table set, sliceable without copies on the
+        worker side.
+        """
+        entry = self._entries.get(frozenset(relations))
+        if entry is None:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(entry.handles, dtype=np.int64)
+
     def plans(self, relations: FrozenSet[int] | Iterable[int]) -> List[Plan]:
         """Cached plans for one table set, materialized as ``Plan`` objects."""
         entry = self._entries.get(frozenset(relations))
@@ -308,6 +321,77 @@ class ArenaPlanCache:
 
         accepted_count, _ = _insert_batch(entry, batch, alpha, realize)
         return accepted_count
+
+    def replay_accept(
+        self, handle: int, tag: int | None = None, row: np.ndarray | None = None
+    ) -> None:
+        """Append a handle whose accept decision was already taken elsewhere.
+
+        The replay half of the distributed DP: workers record exactly the
+        candidate subsequence sequential insertion would accept, so replaying
+        it only needs the *eviction* side of :meth:`insert` — the redundant
+        covered-check (always false for a recorded accept on identical
+        frontier state) is skipped.  ``tag``/``row`` may be passed when the
+        caller already has them (e.g. from a packed effects record) to avoid
+        re-deriving them from the arena.
+        """
+        entry = self._entry(self._arena.rel(handle))
+        if tag is None:
+            tag = self._arena.format_code(handle)
+        if row is None:
+            row = np.asarray(self._arena.cost(handle), dtype=np.float64)
+        _entry_append(entry, handle, tag, row)
+
+    def replay_accept_batch(
+        self,
+        relations: FrozenSet[int],
+        handles: Sequence[int],
+        tags: np.ndarray,
+        rows: np.ndarray,
+    ) -> None:
+        """Replay a run of recorded accepts for one subset in one pass.
+
+        Equivalent to calling :meth:`replay_accept` for each row in order,
+        but the per-row eviction scans collapse into two dominance
+        matrices.  The closed form relies on every shipped row having been
+        *accepted*: each row's eviction pass always runs, so an old entry
+        survives iff **no** new same-tag row dominates it, and new row
+        ``i`` survives iff no **later** new same-tag row dominates it —
+        with surviving old rows keeping their order ahead of surviving new
+        rows, exactly the list order sequential appends produce.
+        """
+        if len(handles) == 0:
+            return
+        if len(handles) == 1:
+            self.replay_accept(int(handles[0]), tag=int(tags[0]), row=rows[0])
+            return
+        entry = self._entry(relations)
+        tags = np.asarray(tags, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.float64)
+        count = len(handles)
+        if entry.handles:
+            old_tags = np.asarray(entry.tags, dtype=np.int64)
+            # evicts_old[i, f]: new row i dominates old entry row f (same
+            # elementwise <= as _entry_append).
+            evicts_old = (tags[:, None] == old_tags[None, :]) & dominates_matrix(
+                rows, entry.rows
+            )
+            old_keep = np.flatnonzero(~evicts_old.any(axis=0))
+            if old_keep.size != len(entry.handles):
+                kept = old_keep.tolist()
+                entry.rows = entry.rows[old_keep]
+                entry.handles = [entry.handles[k] for k in kept]
+                entry.tags = [entry.tags[k] for k in kept]
+        # peer[j, i]: new row j dominates new row i; only later rows
+        # (j > i) evict, so mask to the strict lower triangle along j.
+        peer = (tags[:, None] == tags[None, :]) & dominates_matrix(rows, rows)
+        order = np.arange(count)
+        evicted = (peer & (order[:, None] > order[None, :])).any(axis=0)
+        new_keep = np.flatnonzero(~evicted)
+        entry.rows = np.concatenate([entry.rows, rows[new_keep]])
+        kept = new_keep.tolist()
+        entry.handles.extend(int(handles[k]) for k in kept)
+        entry.tags.extend(int(tags[k]) for k in kept)
 
     @staticmethod
     def _covered(entry: _ArenaEntry, tag: int, row: np.ndarray, alpha: float) -> bool:
@@ -470,6 +554,117 @@ def _insert_batch(
     return _insert_batch_sequential(entry, batch, alpha, realize)
 
 
+def _insert_batch_approx(
+    entry: _ArenaEntry,
+    batch: "CandidateBatch",
+    alpha: float,
+    realize,
+) -> Tuple[int, List[int]]:
+    """Whole-batch α > 1 insertion, vectorized per *accepted* row.
+
+    Decision-identical to :func:`_insert_batch_sequential` (property-tested
+    in ``tests/test_shm.py``): one fused (frontier × batch) α-cover
+    prefilter kills rows the pre-batch frontier covers, then a sweep runs
+    once per **accepted** row — each acceptance vector-rejects every later
+    survivor it α-covers and vector-evicts dominated peers and frontier
+    rows.  Accepted counts are tiny next to batch sizes, so this does
+    O(accepted · batch) work where pairwise matrices would do O(batch²).
+    This is the insertion path of the shared-memory fabric's worker
+    processes; the sequential engine keeps the reference kernels above.
+
+    Three facts make the decomposition sound:
+
+    * the α-cover prefilter against the *pre-batch* frontier is exhaustive
+      for frontier rows — mid-batch evictions only remove frontier rows,
+      and any evictor covers (by transitivity of ``<=`` against the same
+      computed ``α·cost`` values) everything its victim covered;
+    * the same transitivity lets acceptance-time rejection stand in for
+      the sequential check against *currently alive* accepted peers: a row
+      covered only by a later-evicted peer is also covered by that peer's
+      evictor;
+    * eviction requires exact dominance, which is order-insensitive.
+    """
+    size = batch.size
+    if entry.handles:
+        frontier_tags = np.asarray(entry.tags, dtype=np.int64)
+        # One fused (frontier x batch) pass: tag equality AND the exact
+        # per-element comparison of _entry_covered.  Masked per-tag slicing
+        # would compute the same booleans with far more interpreter work.
+        covered = (
+            (frontier_tags[:, None] == batch.tags[None, :])
+            & approx_dominates_matrix(entry.rows, batch.costs, alpha)
+        ).any(axis=0)
+        survivors = np.flatnonzero(~covered)
+    else:
+        frontier_tags = np.empty(0, dtype=np.int64)
+        survivors = np.arange(size)
+    if survivors.size == 0:
+        return 0, []
+    if survivors.size == 1:
+        # Lone survivor: always accepted (nothing can peer-cover it), so
+        # the generic matrix path collapses to one reference append.
+        position = int(survivors[0])
+        _entry_append(
+            entry, realize(position), int(batch.tags[position]),
+            batch.costs[position],
+        )
+        return 1, [position]
+    costs = np.ascontiguousarray(batch.costs[survivors], dtype=np.float64)
+    tags = batch.tags[survivors]
+    # alpha * cost_i computed once per survivor: every cover comparison
+    # against row i (from frontier evictors or accepted peers alike) reads
+    # the same float values _entry_covered would compute.
+    alpha_costs = alpha * costs
+    frontier_alive = np.ones(len(entry.handles), dtype=bool)
+    frontier_rows = entry.rows
+    alive = np.ones(survivors.size, dtype=bool)
+    accepted_order: List[int] = []
+    accepted_live: List[int] = []
+    index = 0
+    while index < alive.shape[0]:
+        remaining = alive[index:]
+        step = int(remaining.argmax())
+        if not remaining[step]:
+            break
+        i = index + step
+        index = i + 1
+        tag = tags[i]
+        row = costs[i]
+        tag_match = tags == tag
+        # Reject every survivor this row α-covers (covers[i, j]: same
+        # elementwise float ops as _entry_covered, NaN-safe).  Earlier and
+        # self positions may flip too, but the scan never revisits them.
+        alive &= ~(tag_match & (row <= alpha_costs).all(axis=1))
+        # Evict accepted peers and frontier rows it exactly dominates (as
+        # in _entry_append: cost_i <= cost_j elementwise).
+        if accepted_live:
+            peers = np.asarray(accepted_live, dtype=np.int64)
+            evicted = (tags[peers] == tag) & (row <= costs[peers]).all(axis=1)
+            if evicted.any():
+                accepted_live = [
+                    j for j, gone in zip(accepted_live, evicted.tolist()) if not gone
+                ]
+        if frontier_rows.shape[0]:
+            frontier_alive &= ~(
+                (frontier_tags == tag) & (row <= frontier_rows).all(axis=1)
+            )
+        accepted_live.append(i)
+        accepted_order.append(i)
+    survivor_positions = survivors.tolist()
+    handles = {i: realize(survivor_positions[i]) for i in accepted_order}
+    if entry.handles and not frontier_alive.all():
+        keep = np.flatnonzero(frontier_alive)
+        entry.rows = entry.rows[keep]
+        kept = keep.tolist()
+        entry.handles = [entry.handles[k] for k in kept]
+        entry.tags = [entry.tags[k] for k in kept]
+    entry.rows = np.concatenate([entry.rows, costs[accepted_live]])
+    entry.handles.extend(handles[i] for i in accepted_live)
+    entry.tags.extend(int(tags[i]) for i in accepted_live)
+    positions = [survivor_positions[i] for i in accepted_order]
+    return len(positions), positions
+
+
 class FrontierSimulator:
     """Replays :class:`ArenaPlanCache` insertion decisions off to the side.
 
@@ -479,20 +674,77 @@ class FrontierSimulator:
     realizing any arena node.  The accepted batch positions it reports are
     later replayed (in order) into the real cache by the coordinator's
     reduce step, reproducing the sequential engine bit for bit.
+
+    The simulator dispatches α > 1 batches to the vectorized
+    :func:`_insert_batch_approx` path (decision-identical to the sequential
+    kernels, one matrix pass per batch) and α = 1 batches to the shared
+    exact kernel.
     """
 
     def __init__(self, num_metrics: int) -> None:
         self._entry = _ArenaEntry(num_metrics)
+        self._num_metrics = num_metrics
 
-    def insert_batch(self, batch: "CandidateBatch", alpha: float) -> List[int]:
+    @classmethod
+    def from_columns(
+        cls,
+        num_metrics: int,
+        handles: Sequence[int],
+        tags: Sequence[int],
+        rows: np.ndarray,
+    ) -> "FrontierSimulator":
+        """Construct a simulator over borrowed frontier columns, copy-free.
+
+        ``rows`` is adopted as-is — e.g. a read-only view into a published
+        shared-memory segment or an arena column snapshot.  The insertion
+        kernels never write into an existing row matrix (they only replace
+        it wholesale on change), so a read-only borrow is safe; the first
+        mutating batch leaves the borrowed source untouched.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != num_metrics:
+            raise ValueError(
+                f"rows must be (n, {num_metrics}), got shape {rows.shape}"
+            )
+        if not (len(handles) == len(tags) == rows.shape[0]):
+            raise ValueError("handles, tags, and rows must have equal length")
+        simulator = cls(num_metrics)
+        entry = simulator._entry
+        entry.handles = [int(handle) for handle in handles]
+        entry.tags = [int(tag) for tag in tags]
+        entry.rows = rows
+        return simulator
+
+    def columns(self) -> Tuple[List[int], List[int], np.ndarray]:
+        """The scratch frontier's ``(handles, tags, rows)`` columns.
+
+        The inverse of :meth:`from_columns`: ``rows`` is the live matrix
+        (not a copy), in frontier order.
+        """
+        entry = self._entry
+        return entry.handles, entry.tags, entry.rows
+
+    def insert_batch(
+        self, batch: "CandidateBatch", alpha: float, base: int = 0
+    ) -> List[int]:
         """Positions sequential insertion would accept; updates the scratch
-        entry in place (placeholder handles — they are never dereferenced)."""
+        entry in place.  Scratch handles are the placeholders
+        ``-1 - (base + position)`` — never dereferenced; ``base`` lets a
+        caller keep them distinct across the batches of one subset."""
         if batch.size == 0:
             return []
-        _, positions = _insert_batch(
-            self._entry, batch, alpha, lambda position: -1 - position
-        )
+        def realize(position: int) -> int:
+            return -1 - (base + position)
+        if alpha == 1.0:
+            _, positions = _insert_batch(self._entry, batch, alpha, realize)
+        else:
+            _, positions = _insert_batch_approx(self._entry, batch, alpha, realize)
         return positions
+
+    @property
+    def num_metrics(self) -> int:
+        """Width of the scratch frontier's cost rows."""
+        return self._num_metrics
 
     @property
     def size(self) -> int:

@@ -189,6 +189,10 @@ class BatchCostModel:
         # so serving memo hits is exact.
         self._spec_memo: Dict[object, Tuple[float, Tuple[float, ...]]] = {}
         self._selectivity_memo: Dict[Tuple[frozenset, frozenset], float] = {}
+        # Candidate-pattern memo of the trusted level path: frontiers with
+        # the same inner-format sequence (ubiquitous across the splits of a
+        # DP level) share one (pattern_ops, pattern_inner, per_outer) layout.
+        self._pattern_memo: Dict[bytes, Tuple[np.ndarray, np.ndarray, int]] = {}
         self._operator_codes: Dict[object, int] = {
             op: code for code, op in enumerate(arena_obj.operators)
         }
@@ -648,6 +652,127 @@ class BatchCostModel:
                 code: np.concatenate(chunks)
                 for code, chunks in merged_groups.items()
             },
+        )
+        batches: List[CandidateBatch] = []
+        offset = 0
+        for description in descriptions:
+            if description is None:
+                batches.append(self._empty_batch())
+                continue
+            size = description.op_codes.shape[0]
+            batches.append(
+                self._assemble_batch(description, node_costs[offset : offset + size])
+            )
+            offset += size
+        return batches
+
+    # ------------------------------------------------ trusted worker pipeline
+    def _cross_pattern(
+        self, inner_formats: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Memoized per-outer candidate layout for one inner-format sequence.
+
+        Within a DP level most splits share the same inner frontier format
+        sequence, so the ``(pattern_ops, pattern_inner, per_outer)`` layout
+        is cached by the raw bytes of ``inner_formats``.  Only the trusted
+        path uses the memo; the sequential engine keeps deriving the layout
+        per call so benchmark comparisons stay honest.
+        """
+        key = inner_formats.tobytes()
+        cached = self._pattern_memo.get(key)
+        if cached is None:
+            ops_per_inner = self._applicable_counts[inner_formats]
+            pattern_ops = np.concatenate(
+                [self._applicable_arrays[code] for code in inner_formats.tolist()]
+            )
+            pattern_inner = np.repeat(
+                np.arange(inner_formats.shape[0], dtype=np.int64), ops_per_inner
+            )
+            cached = (pattern_ops, pattern_inner, int(ops_per_inner.sum()))
+            self._pattern_memo[key] = cached
+        return cached
+
+    def _describe_cross_trusted(
+        self,
+        outer_idx: np.ndarray,
+        inner_idx: np.ndarray,
+        outer_rel: frozenset,
+        inner_rel: frozenset,
+    ) -> "Optional[_CrossDescription]":
+        """:meth:`_describe_cross` minus validation, for pre-validated splits.
+
+        The caller asserts that all outer handles join exactly
+        ``outer_rel`` and all inner handles ``inner_rel`` (DP splits derive
+        both from subset bits, so re-reading per-handle relations would only
+        re-check an invariant the enumeration already guarantees).  Groups
+        are left empty — :meth:`join_candidates_level` computes one global
+        per-operator index over the whole level instead.
+        """
+        arena = self._arena
+        num_outer = outer_idx.shape[0]
+        num_inner = inner_idx.shape[0]
+        if num_outer == 0 or num_inner == 0:
+            return None
+        outer_cards = arena.cardinalities_of(outer_idx)
+        inner_cards = arena.cardinalities_of(inner_idx)
+        selectivity = self._selectivity(outer_rel, inner_rel)
+        products = outer_cards[:, None] * inner_cards[None, :] * selectivity
+        output_cards = np.where(products > 1.0, products, 1.0)
+
+        inner_formats = arena.format_codes_of(inner_idx)
+        pattern_ops, pattern_inner, per_outer = self._cross_pattern(inner_formats)
+        op_codes = np.tile(pattern_ops, num_outer)
+        inner_pos = np.tile(pattern_inner, num_outer)
+        outer_pos = np.repeat(np.arange(num_outer, dtype=np.int64), per_outer)
+        return _CrossDescription(
+            op_codes=op_codes,
+            outer_pos=outer_pos,
+            inner_pos=inner_pos,
+            cardinalities=output_cards[outer_pos, inner_pos],
+            outer_cards_pc=outer_cards[outer_pos],
+            inner_cards_pc=inner_cards[inner_pos],
+            base_costs=arena.costs_of(outer_idx)[outer_pos]
+            + arena.costs_of(inner_idx)[inner_pos],
+            groups={},
+        )
+
+    def join_candidates_level(
+        self,
+        splits: Sequence[Tuple[np.ndarray, np.ndarray, frozenset, frozenset]],
+    ) -> List[CandidateBatch]:
+        """Trusted variant of :meth:`join_candidates_multi` for DP shards.
+
+        ``splits`` rows are ``(outer_handles, inner_handles, outer_rel,
+        inner_rel)`` with int64 handle arrays and pre-derived table sets
+        (the shared-memory fabric ships subset bits, so relations come from
+        bit positions rather than per-handle lookups).  Per-operator groups
+        are computed once over the concatenated level — elementwise kernels
+        make the scatter bit-identical to the per-split merged groups of
+        ``join_candidates_multi``.
+        """
+        descriptions = [
+            self._describe_cross_trusted(
+                np.asarray(outer_handles, dtype=np.int64),
+                np.asarray(inner_handles, dtype=np.int64),
+                outer_rel,
+                inner_rel,
+            )
+            for outer_handles, inner_handles, outer_rel, inner_rel in splits
+        ]
+        live = [d for d in descriptions if d is not None]
+        if not live:
+            return [self._empty_batch() for _ in descriptions]
+        all_ops = np.concatenate([d.op_codes for d in live])
+        groups = {
+            code: np.flatnonzero(all_ops == code)
+            for code in np.unique(all_ops).tolist()
+        }
+        node_costs = self._node_costs_grouped(
+            np.concatenate([d.outer_cards_pc for d in live]),
+            np.concatenate([d.inner_cards_pc for d in live]),
+            np.concatenate([d.cardinalities for d in live]),
+            all_ops,
+            groups,
         )
         batches: List[CandidateBatch] = []
         offset = 0

@@ -48,6 +48,14 @@ CACHE_ENTRY_FORMAT = "repro-task-cache-v1"
 #: provenance, e.g. per-subset DP reductions in :mod:`repro.dist.dp`).
 CACHE_RAW_FORMAT = "repro-task-cache-raw-v1"
 
+#: Leading magic of binary raw-key entries (``.bin`` files).  The key is
+#: embedded after the magic so foreign or renamed files are misses, exactly
+#: like the JSON tiers' ``format``/``key`` checks.
+CACHE_RAW_BYTES_MAGIC = b"repro-task-cache-bin-v1\n"
+
+#: File suffixes that count as cache entries (LRU accounting and ``len``).
+_ENTRY_SUFFIXES = (".json", ".bin")
+
 
 def write_json_atomic(path: str, payload: dict) -> None:
     """Write a JSON file atomically (temp file + ``os.replace``).
@@ -62,6 +70,26 @@ def write_json_atomic(path: str, payload: dict) -> None:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
             handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_bytes_atomic(path: str, data: bytes) -> None:
+    """Write a binary file atomically (temp file + ``os.replace``).
+
+    The binary twin of :func:`write_json_atomic`, used by the cache's
+    packed-bytes tier.
+    """
+    directory = os.path.dirname(path)
+    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".bin")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
         os.replace(temp_path, path)
     except BaseException:
         try:
@@ -117,6 +145,9 @@ class TaskCache:
 
     def _entry_path(self, key: str) -> str:
         return os.path.join(self._root, key[:2], f"{key}.json")
+
+    def _entry_path_bin(self, key: str) -> str:
+        return os.path.join(self._root, key[:2], f"{key}.bin")
 
     def get(self, spec: ScenarioSpec, task: TaskSpec) -> Optional[TaskResult]:
         """The cached result of a leaf, or ``None``.
@@ -281,6 +312,66 @@ class TaskCache:
                 self._enforce_cap(keep=path)
         return key
 
+    # ------------------------------------------------- raw-key binary entries
+    def get_raw_bytes(self, key: str) -> Optional[bytes]:
+        """The packed-bytes payload cached under a caller-computed key.
+
+        The binary tier of the raw-key API: payloads are opaque byte strings
+        (e.g. the packed structured-array DP effects of
+        :mod:`repro.dist.dp`), stored verbatim after a magic + key header —
+        float64 values round-trip exactly, NaN and ±inf included, with none
+        of JSON's number-formatting hazards.  Shares the directory tree,
+        atomic writes, stats, and LRU policy with the JSON tiers; the
+        distinct suffix and magic keep the tiers from misreading each other.
+        """
+        path = self._entry_path_bin(key)
+        prefix = CACHE_RAW_BYTES_MAGIC + key.encode("ascii") + b"\n"
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+            if not data.startswith(prefix):
+                raise ValueError("foreign or stale cache entry")
+        except (OSError, ValueError):
+            self._stats["misses"] += 1
+            return None
+        self._stats["hits"] += 1
+        if self._max_bytes is not None:
+            self._touch(path)
+        return data[len(prefix):]
+
+    def put_raw_bytes(self, key: str, payload: bytes) -> str:
+        """Store a packed-bytes payload under a caller-computed key.
+
+        As with :meth:`put_raw`, the caller vouches that the key covers
+        every input that can affect the payload.  Entries are immutable:
+        an existing valid entry is not rewritten, only LRU-refreshed.
+        """
+        path = self._entry_path_bin(key)
+        prefix = CACHE_RAW_BYTES_MAGIC + key.encode("ascii") + b"\n"
+        try:
+            with open(path, "rb") as handle:
+                existing = handle.read(len(prefix))
+            if existing == prefix:
+                if self._max_bytes is not None:
+                    self._touch(path)
+                return key
+        except OSError:
+            pass
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        write_bytes_atomic(path, prefix + payload)
+        self._stats["stores"] += 1
+        if self._max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                try:
+                    self._approx_bytes += os.path.getsize(path)
+                except OSError:
+                    pass
+            if self._approx_bytes > self._max_bytes:
+                self._enforce_cap(keep=path)
+        return key
+
     # ----------------------------------------------------------- LRU policy
     def _entries_by_recency(self) -> "List[Tuple[float, str, int]]":
         """All entries as ``(mtime, path, size)``, least recent first."""
@@ -292,7 +383,7 @@ class TaskCache:
             if not os.path.isdir(shard_dir):
                 continue
             for name in sorted(os.listdir(shard_dir)):
-                if not name.endswith(".json") or name.startswith(".tmp-"):
+                if not name.endswith(_ENTRY_SUFFIXES) or name.startswith(".tmp-"):
                     continue
                 path = os.path.join(shard_dir, name)
                 try:
@@ -342,6 +433,6 @@ class TaskCache:
                 count += sum(
                     1
                     for name in os.listdir(shard_dir)
-                    if name.endswith(".json") and not name.startswith(".tmp-")
+                    if name.endswith(_ENTRY_SUFFIXES) and not name.startswith(".tmp-")
                 )
         return count

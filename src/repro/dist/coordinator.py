@@ -162,6 +162,7 @@ class Coordinator:
             "duplicates": 0,
             "rejected": 0,
             "splits": 0,
+            "failed_leases": 0,
         }
 
         if cache is not None:
@@ -383,7 +384,13 @@ class Coordinator:
                 self._pending.remove(sub_group.group_id)
 
     def fail_lease(self, lease_id: str) -> None:
-        """Return a lease to the queue immediately (a worker giving up)."""
+        """Return a lease to the queue immediately (a worker giving up).
+
+        The explicit-failure twin of lease expiry: workers whose execution
+        raises hand the group back right away instead of letting the
+        timeout clock run (``failed_leases`` counts these separately from
+        timeout ``reassignments``, which also increments).
+        """
         with self._lock:
             group_id = self._leases.get(lease_id)
             if group_id is None:
@@ -395,6 +402,7 @@ class Coordinator:
             group.current_lease_id = None
             self._pending.appendleft(group.group_id)
             self._stats["reassignments"] += 1
+            self._stats["failed_leases"] += 1
             self._work_available.notify_all()
 
     def wait_for_work(self, timeout: float) -> bool:

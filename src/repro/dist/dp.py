@@ -44,10 +44,14 @@ from repro.core.plan_cache import ArenaPlanCache, FrontierSimulator
 from repro.cost.batch import BatchCostModel
 from repro.dist.cache import TaskCache
 from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT, Coordinator, Lease
+from repro.dist.shm import ShmTaskFabric, SubsetEffects, pack_batches
 from repro.dist.worker import Worker
 
-#: Format tag hashed into every DP provenance key.
-DP_PROVENANCE_FORMAT = "repro-dp-subset-v1"
+#: Format tag hashed into every DP provenance key.  v2: effect payloads
+#: moved from JSON nested tuples to the packed binary records of
+#: :mod:`repro.dist.shm` (``.bin`` cache tier), so keys never collide with
+#: v1 entries.
+DP_PROVENANCE_FORMAT = "repro-dp-subset-v2"
 
 #: Re-exported lease type granted to DP workers (the ``on_lease`` hook of
 #: :func:`compute_dp_level` receives these).
@@ -75,8 +79,8 @@ class DPLevelResult:
     """A shard's recorded decisions, keyed back to its task."""
 
     task: DPLevelTask
-    #: ``(subset bits, per-split effects)`` per subset of the shard.
-    effects: Tuple[Tuple[int, Tuple[SplitEffect, ...]], ...]
+    #: ``(subset bits, packed effects)`` per subset of the shard.
+    effects: Tuple[Tuple[int, SubsetEffects], ...]
 
 
 # --------------------------------------------------------------- provenance
@@ -164,6 +168,38 @@ def _effects_from_payload(payload: dict) -> List[SplitEffect]:
 
 
 # ---------------------------------------------------------------- reduction
+def _reduce_subset_packed(
+    batch_model: BatchCostModel,
+    cache: ArenaPlanCache,
+    sets: Dict[int, FrozenSet[int]],
+    lefts: Sequence[int],
+    level_alpha: float,
+    bits: int,
+) -> SubsetEffects:
+    """In-process twin of the shared-memory workers' reduce pipeline.
+
+    The thread fallback of :func:`compute_dp_level` (used when
+    :meth:`~repro.dist.shm.ShmTaskFabric.create` declines): the same
+    trusted level kernel and frontier simulation as the fabric workers,
+    run against the live arena and cache — which are read-only for the
+    duration of a level — and packed into the same record layout.
+    """
+    splits = []
+    for left_bits in lefts:
+        outer_rel = sets[left_bits]
+        inner_rel = sets[bits ^ left_bits]
+        splits.append(
+            (
+                cache.handles_array(outer_rel),
+                cache.handles_array(inner_rel),
+                outer_rel,
+                inner_rel,
+            )
+        )
+    batches = batch_model.join_candidates_level(splits)
+    return pack_batches(batches, batch_model.num_metrics, level_alpha)
+
+
 def _reduce_subset(
     batch_model: BatchCostModel,
     cache: ArenaPlanCache,
@@ -231,7 +267,8 @@ def compute_dp_level(
     task_cache: Optional[TaskCache] = None,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     on_lease: Optional[Callable[[Lease], None]] = None,
-) -> Dict[int, List[SplitEffect]]:
+    fabric: Optional[ShmTaskFabric] = None,
+) -> Dict[int, SubsetEffects]:
     """Compute one DP level's split decisions across lease-based workers.
 
     Parameters
@@ -247,17 +284,25 @@ def compute_dp_level(
     workers:
         Worker threads; results are bit-identical for any count.
     task_cache:
-        Optional content-addressed cache of per-subset decisions.
+        Optional content-addressed cache of per-subset decisions (packed
+        binary tier — exact float64 round-trip).
     lease_timeout:
         Seconds before the coordinator reclaims an uncompleted lease.
     on_lease:
         Fault-injection hook passed to every worker.
+    fabric:
+        Optional shared-memory task fabric.  When given (and flushed
+        here), worker threads dispatch their shards to its process pool,
+        which reduces over published zero-copy views; without one, the
+        same reductions run on the threads themselves
+        (:func:`_reduce_subset_packed`) — results are identical.
 
-    Returns ``subset bits -> per-split effects`` for the whole level.
+    Returns ``subset bits -> packed effects`` for the whole level.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
-    effects: Dict[int, List[SplitEffect]] = {}
+    num_metrics = batch_model.num_metrics
+    effects: Dict[int, SubsetEffects] = {}
     keys: Dict[int, str] = {}
     pending: List[int] = []
     if task_cache is not None:
@@ -265,19 +310,30 @@ def compute_dp_level(
         for bits in sorted(splits):
             key = dp_subset_key(signature, bits)
             keys[bits] = key
-            payload = task_cache.get_raw(key)
+            payload = task_cache.get_raw_bytes(key)
             if payload is not None:
-                effects[bits] = _effects_from_payload(payload)
-            else:
-                pending.append(bits)
+                try:
+                    effects[bits] = SubsetEffects.from_bytes(payload, num_metrics)
+                    continue
+                except ValueError:  # foreign/corrupt entry: recompute
+                    pass
+            pending.append(bits)
     else:
         pending = sorted(splits)
     if not pending:
         return effects
 
-    # Shard the level into a few leases per worker so reassignment after a
-    # worker death (and straggler splitting) has useful granularity.
-    shard_size = max(1, -(-len(pending) // (workers * 4)))
+    # Publish the level before any shard is submitted: the arena rows and
+    # frontiers a level reads are final once it starts, so one flush per
+    # level (deltas only) is all the data movement the fabric ever does.
+    # Fully cache-warm levels return above without touching shared memory.
+    if fabric is not None:
+        fabric.flush()
+
+    # One lease per worker: pool round-trips dominate small levels, so
+    # shards are as coarse as fault tolerance allows — a dead worker's
+    # whole share requeues on lease expiry and any survivor picks it up.
+    shard_size = max(1, -(-len(pending) // workers))
     tasks = [
         DPLevelTask(
             task_id=f"dp-shard-{index}",
@@ -287,19 +343,17 @@ def compute_dp_level(
     ]
 
     def reduce_task(task: DPLevelTask) -> DPLevelResult:
-        return DPLevelResult(
-            task=task,
-            effects=tuple(
-                (
-                    bits,
-                    tuple(
-                        _reduce_subset(
-                            batch_model, cache, sets, splits[bits], level_alpha, bits
-                        )
-                    ),
+        if fabric is not None:
+            per_subset = fabric.reduce_shard(task.subsets, level_alpha)
+        else:
+            per_subset = [
+                _reduce_subset_packed(
+                    batch_model, cache, sets, splits[bits], level_alpha, bits
                 )
                 for bits in task.subsets
-            ),
+            ]
+        return DPLevelResult(
+            task=task, effects=tuple(zip(task.subsets, per_subset))
         )
 
     # The generic coordinator is reused duck-typed: explicit task list,
@@ -333,8 +387,8 @@ def compute_dp_level(
             raise RuntimeError("DP level ended with incomplete shards")
 
     for result in coordinator.results():
-        for bits, per_split in result.effects:
-            effects[bits] = list(per_split)
+        for bits, packed in result.effects:
+            effects[bits] = packed
             if task_cache is not None:
-                task_cache.put_raw(keys[bits], _payload_from_effects(per_split))
+                task_cache.put_raw_bytes(keys[bits], packed.to_bytes())
     return effects

@@ -15,6 +15,7 @@ exactly this through the ``on_lease`` hook.
 
 from __future__ import annotations
 
+import atexit
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, List, Optional
@@ -23,6 +24,47 @@ from repro.bench.scenario import ScenarioSpec
 from repro.bench.tasks import TaskResult, TaskSpec, _execute_task_group
 from repro.dist.cache import TaskCache
 from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT, Coordinator, Lease
+
+# ----------------------------------------------------- shared process pool
+# One persistent ProcessPoolExecutor shared by successive run_coordinated
+# calls: at micro scale the per-run fork + warm-up of a fresh pool used to
+# exceed the work itself, which is exactly the regression BENCH_dp.json
+# recorded for the coordinator backend.  The pool is replaced (after a
+# deterministic shutdown) when a caller needs more workers, torn down on
+# worker-thread error paths, and reaped at interpreter exit.
+_POOL_LOCK = threading.Lock()
+_SHARED_POOL: Optional[ProcessPoolExecutor] = None
+_SHARED_POOL_WORKERS = 0
+
+
+def shared_process_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent process pool, grown to at least ``workers`` workers."""
+    global _SHARED_POOL, _SHARED_POOL_WORKERS
+    with _POOL_LOCK:
+        if _SHARED_POOL is None or _SHARED_POOL_WORKERS < workers:
+            if _SHARED_POOL is not None:
+                _SHARED_POOL.shutdown(wait=True, cancel_futures=True)
+            _SHARED_POOL = ProcessPoolExecutor(max_workers=workers)
+            _SHARED_POOL_WORKERS = workers
+        return _SHARED_POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Deterministically shut the shared pool down (idempotent).
+
+    Called on every ``run_coordinated`` error path — a raised worker error
+    must not strand pool processes — and registered via ``atexit`` for
+    normal interpreter shutdown.
+    """
+    global _SHARED_POOL, _SHARED_POOL_WORKERS
+    with _POOL_LOCK:
+        if _SHARED_POOL is not None:
+            _SHARED_POOL.shutdown(wait=True, cancel_futures=True)
+            _SHARED_POOL = None
+            _SHARED_POOL_WORKERS = 0
+
+
+atexit.register(shutdown_shared_pool)
 
 
 class Worker(threading.Thread):
@@ -84,8 +126,20 @@ class Worker(threading.Thread):
                 continue
             if self._on_lease is not None:
                 self._on_lease(lease)
-            results = self._execute(coordinator.spec, list(lease.tasks))
-            coordinator.complete_lease(lease.lease_id, results)
+            try:
+                results = self._execute(coordinator.spec, list(lease.tasks))
+                coordinator.complete_lease(lease.lease_id, results)
+            except BaseException:
+                # An execution failure hands the lease back immediately
+                # instead of waiting out the lease timeout.  Deliberately
+                # *not* done for ``on_lease`` errors above: that hook
+                # simulates a worker dying silently, and the tests pin the
+                # resulting expiry/reassignment behaviour.
+                try:
+                    coordinator.fail_lease(lease.lease_id)
+                except Exception:
+                    pass
+                raise
             self.completed_leases += 1
 
     def _execute(
@@ -107,12 +161,14 @@ def run_coordinated(
     """Execute a scenario's schedule through a coordinator with local workers.
 
     ``workers == 1`` drains the queue on the calling thread (no pool);
-    ``workers > 1`` starts that many worker threads sharing one
-    ``ProcessPoolExecutor`` (``use_processes=False`` keeps execution on the
-    threads themselves — useful in tests that monkeypatch task execution).
-    Returns the finished coordinator; call ``results()`` for the task
-    results in schedule order.  Raises the first worker error when the run
-    could not finish.
+    ``workers > 1`` starts that many worker threads sharing the persistent
+    :func:`shared_process_pool` (``use_processes=False`` keeps execution on
+    the threads themselves — useful in tests that monkeypatch task
+    execution).  The pool outlives the call, so repeated micro-scale runs
+    pay the fork + warm-up cost once; every error path shuts it down
+    deterministically before raising.  Returns the finished coordinator;
+    call ``results()`` for the task results in schedule order.  Raises the
+    first worker error when the run could not finish.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
@@ -131,7 +187,7 @@ def run_coordinated(
         pool: Optional[ProcessPoolExecutor] = None
         try:
             if use_processes:
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = shared_process_pool(workers)
             threads = [
                 Worker(f"worker-{index}", coordinator, executor=pool)
                 for index in range(workers)
@@ -140,10 +196,13 @@ def run_coordinated(
                 thread.start()
             for thread in threads:
                 thread.join()
-        finally:
+        except BaseException:
             if pool is not None:
-                pool.shutdown()
+                shutdown_shared_pool()
+            raise
         if not coordinator.done:
+            if pool is not None:
+                shutdown_shared_pool()
             errors = [thread.error for thread in threads if thread.error is not None]
             if errors:
                 raise errors[0]

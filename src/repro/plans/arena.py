@@ -39,6 +39,7 @@ The arena is storage only; costing lives in
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
@@ -47,7 +48,12 @@ from repro.plans.operators import DataFormat, JoinOperator, ScanOperator
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
 from repro.query.query import Query
 
-__all__ = ["PlanArena", "resolve_plan_engine", "PLAN_ENGINES"]
+__all__ = [
+    "ArenaColumnSnapshot",
+    "PlanArena",
+    "resolve_plan_engine",
+    "PLAN_ENGINES",
+]
 
 #: Engines accepted by the ``engine=`` parameter of the search algorithms.
 PLAN_ENGINES = ("arena", "object")
@@ -70,6 +76,33 @@ def resolve_plan_engine(engine: str | None) -> str:
             f"unknown plan engine {engine!r}; expected one of {PLAN_ENGINES}"
         )
     return engine
+
+
+@dataclass(frozen=True)
+class ArenaColumnSnapshot:
+    """Read-only views of one arena row range's numeric columns.
+
+    The export format of :meth:`PlanArena.column_snapshot`: zero-copy views
+    (marked non-writeable) of the operator-code, cardinality, and cost
+    columns for rows ``[start, stop)``.  Consumers that need the data to
+    outlive the arena (or to land in a shared-memory segment) copy the views
+    with ``np.copyto`` / slice assignment; consumers that only read — the
+    batch cost kernels, the task fabric's publisher — use them in place.
+    """
+
+    #: First row covered by the views.
+    start: int
+    #: One past the last row covered.
+    stop: int
+    #: Operator codes, ``int32 (stop - start,)``.
+    op_codes: np.ndarray
+    #: Estimated output cardinalities, ``float64 (stop - start,)``.
+    cardinalities: np.ndarray
+    #: Total cost rows, ``float64 (stop - start, num_metrics)``.
+    costs: np.ndarray
+
+    def __len__(self) -> int:
+        return self.stop - self.start
 
 
 class PlanArena:
@@ -256,6 +289,39 @@ class PlanArena:
     def format_codes_of(self, handles: np.ndarray) -> np.ndarray:
         """Output-format codes gathered for the given handle array."""
         return self._op_format_codes[self._op[handles]]
+
+    def column_snapshot(
+        self, start: int = 0, stop: int | None = None
+    ) -> ArenaColumnSnapshot:
+        """Zero-copy read-only views of rows ``[start, stop)``.
+
+        The snapshot/export API of the arena: the shared-memory task fabric
+        publishes each DP level by copying exactly the delta rows appended
+        since its last publish (``column_snapshot(published, len(arena))``)
+        into its segments, and worker processes rebuild a read-only twin of
+        the arena over the attached buffers.  ``stop`` defaults to the
+        current size.  The views alias the live columns — they stay valid
+        (and immutable) until the arena next grows its storage, so take them
+        fresh per use rather than holding them across appends.
+        """
+        stop = self._size if stop is None else stop
+        if not 0 <= start <= stop <= self._size:
+            raise ValueError(
+                f"invalid snapshot range [{start}, {stop}) for arena of "
+                f"size {self._size}"
+            )
+        op_codes = self._op[start:stop]
+        cardinalities = self._card[start:stop]
+        costs = self._cost[start:stop]
+        for view in (op_codes, cardinalities, costs):
+            view.flags.writeable = False
+        return ArenaColumnSnapshot(
+            start=start,
+            stop=stop,
+            op_codes=op_codes,
+            cardinalities=cardinalities,
+            costs=costs,
+        )
 
     # -------------------------------------------------------------- updates
     def _ensure_capacity(self, extra: int) -> None:

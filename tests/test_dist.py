@@ -365,6 +365,9 @@ class TestCoordinatorLifecycle:
         assert coordinator.pending_count == before - 1
         coordinator.fail_lease(lease.lease_id)
         assert coordinator.pending_count == before
+        stats = coordinator.stats
+        assert stats["failed_leases"] == 1
+        assert stats["reassignments"] == 1
 
     def test_adaptive_lease_sizing(self, step_spec):
         sequential = Coordinator(step_spec, workers_hint=1)

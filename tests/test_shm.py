@@ -1,0 +1,626 @@
+"""Tests of the zero-copy shared-memory task fabric and its kernels.
+
+Three layers, mirroring :mod:`repro.dist.shm`'s contract:
+
+* **Codec fidelity** — the legacy JSON effects codec and the packed-binary
+  :class:`SubsetEffects` codec round-trip float64 values *exactly* — NaN
+  and ±inf included — through one shared property test, and the binary
+  decoder rejects foreign/truncated payloads as cache misses.
+* **Kernel equivalence** — the fabric's vectorized insertion
+  (:func:`_insert_batch_approx`) and the driver's batched replay
+  (:meth:`ArenaPlanCache.replay_accept_batch`) are decision-identical to
+  the sequential reference kernels, property-tested over random batches,
+  α values, and non-finite costs.
+* **Fabric lifecycle** — publish → attach → refresh → unlink: segments
+  grow under generation-bumped names, close() is idempotent, runs leak no
+  ``/dev/shm`` segments (worker death included), and the thread fallback
+  (``REPRO_DP_FABRIC=threads``) is bit-identical to the fabric path.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dp import ArenaDPOptimizer
+from repro.core.plan_cache import (
+    ArenaPlanCache,
+    FrontierSimulator,
+    _ArenaEntry,
+    _entry_append,
+    _entry_covered,
+    _insert_batch_approx,
+    _insert_batch_sequential,
+)
+from repro.cost.batch import BatchCostModel, CandidateBatch
+from repro.dist.cache import TaskCache
+from repro.dist.dp import _effects_from_payload, _payload_from_effects
+from repro.dist.shm import (
+    EFFECTS_BYTES_FORMAT,
+    ShmTaskFabric,
+    SubsetEffects,
+    accepted_dtype,
+    pack_batches,
+)
+
+#: Per-level pruning factors exercised by the equivalence properties —
+#: the α > 1 domain of the vectorized kernel plus the engine's inf cap.
+APPROX_ALPHAS = (1.01, 1.5, 2.0, 1e12)
+
+#: Cost components, biased toward collisions (which drive evictions) and
+#: including every non-finite value the engines must agree on.
+_COST_VALUES = st.one_of(
+    st.sampled_from([0.0, 1.0, 2.0, 3.0, 10.0]),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+)
+
+
+def _key(values):
+    """NaN-safe exact snapshot of a float vector (NaN == NaN)."""
+    return tuple("nan" if math.isnan(v) else v for v in values)
+
+
+def _rows_strategy(count, num_metrics):
+    return st.lists(
+        st.lists(_COST_VALUES, min_size=num_metrics, max_size=num_metrics),
+        min_size=count,
+        max_size=count,
+    )
+
+
+def _batch_from(costs, tags):
+    size = costs.shape[0]
+    return CandidateBatch(
+        costs=costs,
+        cardinalities=np.ones(size, dtype=np.float64),
+        op_codes=np.zeros(size, dtype=np.int64),
+        tags=tags,
+        outer_pos=np.zeros(size, dtype=np.int64),
+        inner_pos=np.zeros(size, dtype=np.int64),
+    )
+
+
+@st.composite
+def _insert_case(draw):
+    """A seed batch (builds frontier state) plus a batch under test."""
+    num_metrics = draw(st.integers(min_value=1, max_value=3))
+    seed_size = draw(st.integers(min_value=0, max_value=10))
+    batch_size = draw(st.integers(min_value=0, max_value=25))
+    tag_pool = draw(st.integers(min_value=1, max_value=3))
+
+    def build(count):
+        costs = np.asarray(
+            draw(_rows_strategy(count, num_metrics)), dtype=np.float64
+        ).reshape(count, num_metrics)
+        tags = np.asarray(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=tag_pool - 1),
+                    min_size=count,
+                    max_size=count,
+                )
+            ),
+            dtype=np.int64,
+        )
+        return _batch_from(costs, tags)
+
+    alpha = draw(st.sampled_from(APPROX_ALPHAS))
+    return num_metrics, build(seed_size), build(batch_size), alpha
+
+
+def _entry_state(entry):
+    return (
+        list(entry.handles),
+        list(entry.tags),
+        [_key(row) for row in entry.rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel equivalence: _insert_batch_approx == _insert_batch_sequential
+# ---------------------------------------------------------------------------
+class TestInsertBatchApprox:
+    """The fabric's vectorized α > 1 insertion vs the sequential reference."""
+
+    @given(case=_insert_case())
+    @settings(max_examples=200, deadline=None)
+    def test_decisions_and_frontier_bit_identical(self, case):
+        num_metrics, seed_batch, batch, alpha = case
+        reference = _ArenaEntry(num_metrics)
+        candidate = _ArenaEntry(num_metrics)
+        for entry in (reference, candidate):
+            if seed_batch.size:
+                _insert_batch_sequential(
+                    entry, seed_batch, alpha, lambda position: -100 - position
+                )
+        if batch.size == 0:
+            return
+        expected = _insert_batch_sequential(
+            reference, batch, alpha, lambda position: 1000 + position
+        )
+        actual = _insert_batch_approx(
+            candidate, batch, alpha, lambda position: 1000 + position
+        )
+        assert actual == expected
+        assert _entry_state(candidate) == _entry_state(reference)
+
+    def test_empty_frontier_all_dominated_batch(self):
+        # Lone-survivor and zero-survivor fast paths.
+        entry = _ArenaEntry(2)
+        batch = _batch_from(
+            np.asarray([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]),
+            np.zeros(3, dtype=np.int64),
+        )
+        count, positions = _insert_batch_approx(
+            entry, batch, 2.0, lambda position: position
+        )
+        reference = _ArenaEntry(2)
+        expected_count, expected_positions = _insert_batch_sequential(
+            reference, batch, 2.0, lambda position: position
+        )
+        assert (count, positions) == (expected_count, expected_positions)
+        assert _entry_state(entry) == _entry_state(reference)
+
+
+# ---------------------------------------------------------------------------
+# Batched replay: replay_accept_batch == repeated replay_accept
+# ---------------------------------------------------------------------------
+class _FakeArena:
+    """Just enough arena for ArenaPlanCache's replay path (rel lookup)."""
+
+    def __init__(self, rel):
+        self._rel = rel
+
+    def rel(self, handle):
+        return self._rel
+
+
+class _FakeModel:
+    def __init__(self, num_metrics, rel):
+        self.arena = _FakeArena(rel)
+        self.num_metrics = num_metrics
+
+
+class TestReplayAcceptBatch:
+    @given(
+        num_metrics=st.integers(min_value=1, max_value=3),
+        pre_count=st.integers(min_value=0, max_value=6),
+        count=st.integers(min_value=0, max_value=12),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_sequential_replay(self, num_metrics, pre_count, count, data):
+        rel = frozenset({0, 1})
+        rows = np.asarray(
+            data.draw(_rows_strategy(pre_count + count, num_metrics)),
+            dtype=np.float64,
+        ).reshape(pre_count + count, num_metrics)
+        tags = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=2),
+                    min_size=pre_count + count,
+                    max_size=pre_count + count,
+                )
+            ),
+            dtype=np.int64,
+        )
+        reference = ArenaPlanCache(_FakeModel(num_metrics, rel))
+        candidate = ArenaPlanCache(_FakeModel(num_metrics, rel))
+        for index in range(pre_count):
+            for cache in (reference, candidate):
+                cache.replay_accept(
+                    index, tag=int(tags[index]), row=rows[index]
+                )
+        handles = list(range(100, 100 + count))
+        for offset in range(count):
+            index = pre_count + offset
+            reference.replay_accept(
+                handles[offset], tag=int(tags[index]), row=rows[index]
+            )
+        candidate.replay_accept_batch(
+            rel, handles, tags[pre_count:], rows[pre_count:]
+        )
+        if pre_count + count == 0:
+            assert rel not in candidate and rel not in reference
+            return
+        assert _entry_state(candidate._entries[rel]) == _entry_state(
+            reference._entries[rel]
+        )
+
+    def test_empty_batch_is_a_no_op(self):
+        rel = frozenset({0})
+        cache = ArenaPlanCache(_FakeModel(2, rel))
+        cache.replay_accept_batch(
+            rel, [], np.empty(0, dtype=np.int64), np.empty((0, 2))
+        )
+        assert rel not in cache
+
+
+# ---------------------------------------------------------------------------
+# Codec fidelity: JSON tier and packed-binary tier, one shared property
+# ---------------------------------------------------------------------------
+def _roundtrip_json(per_split, num_metrics):
+    # json.dumps -> json.loads models the real wire/disk hop (it is what
+    # the legacy JSON task-cache tier and result transport do).
+    payload = json.loads(json.dumps(_payload_from_effects(per_split)))
+    return _effects_from_payload(payload)
+
+
+def _roundtrip_binary(per_split, num_metrics):
+    packed = SubsetEffects.from_split_effects(per_split, num_metrics)
+    decoded = SubsetEffects.from_bytes(packed.to_bytes(), num_metrics)
+    return decoded.to_split_effects()
+
+
+def _normalize(per_split):
+    return [
+        (
+            count,
+            [
+                (outer, inner, op, _key((card,)), _key(cost))
+                for outer, inner, op, card, cost in accepted
+            ],
+        )
+        for count, accepted in per_split
+    ]
+
+
+@st.composite
+def _split_effects(draw):
+    num_metrics = draw(st.integers(min_value=1, max_value=3))
+    splits = draw(st.integers(min_value=0, max_value=5))
+    per_split = []
+    for _ in range(splits):
+        accepted_count = draw(st.integers(min_value=0, max_value=4))
+        accepted = [
+            (
+                draw(st.integers(min_value=0, max_value=50)),
+                draw(st.integers(min_value=0, max_value=50)),
+                draw(st.integers(min_value=0, max_value=10)),
+                draw(_COST_VALUES),
+                tuple(draw(_rows_strategy(1, num_metrics))[0]),
+            )
+            for _ in range(accepted_count)
+        ]
+        per_split.append((draw(st.integers(min_value=0, max_value=200)), accepted))
+    return num_metrics, per_split
+
+
+class TestEffectsCodecs:
+    """Both cache tiers must round-trip float64 exactly, specials included."""
+
+    @pytest.mark.parametrize(
+        "roundtrip", [_roundtrip_json, _roundtrip_binary], ids=["json", "binary"]
+    )
+    @given(case=_split_effects())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_exact(self, roundtrip, case):
+        num_metrics, per_split = case
+        assert _normalize(roundtrip(per_split, num_metrics)) == _normalize(
+            per_split
+        )
+
+    def test_specials_survive_both_codecs(self):
+        per_split = [
+            (
+                7,
+                [
+                    (0, 1, 2, float("nan"), (float("inf"), float("-inf"))),
+                    (3, 4, 5, 0.1 + 0.2, (1e-323, 1.7976931348623157e308)),
+                ],
+            ),
+            (0, []),
+        ]
+        for roundtrip in (_roundtrip_json, _roundtrip_binary):
+            assert _normalize(roundtrip(per_split, 2)) == _normalize(per_split)
+
+    def test_from_bytes_rejects_foreign_payloads(self):
+        packed = SubsetEffects.from_split_effects(
+            [(3, [(0, 0, 0, 1.0, (1.0, 2.0))])], 2
+        )
+        data = packed.to_bytes()
+        with pytest.raises(ValueError):
+            SubsetEffects.from_bytes(b"no header newline", 2)
+        with pytest.raises(ValueError):
+            SubsetEffects.from_bytes(b"not json\n" + data, 2)
+        with pytest.raises(ValueError):  # num_metrics mismatch
+            SubsetEffects.from_bytes(data, 3)
+        with pytest.raises(ValueError):  # truncated body
+            SubsetEffects.from_bytes(data[:-1], 2)
+        header = json.loads(data[: data.find(b"\n")])
+        header["format"] = "someone-elses-format"
+        forged = json.dumps(header, sort_keys=True).encode("ascii")
+        with pytest.raises(ValueError):
+            SubsetEffects.from_bytes(
+                forged + data[data.find(b"\n") :], 2
+            )
+        assert header.pop("format") == "someone-elses-format"
+        assert EFFECTS_BYTES_FORMAT == "repro-dp-effects-v1"
+
+    def test_binary_cache_tier_roundtrip(self, tmp_path):
+        cache = TaskCache(str(tmp_path / "cache"))
+        packed = SubsetEffects.from_split_effects(
+            [(2, [(0, 1, 2, float("nan"), (float("inf"), 0.5))])], 2
+        )
+        key = "ab" + "0" * 62
+        cache.put_raw_bytes(key, packed.to_bytes())
+        payload = cache.get_raw_bytes(key)
+        assert payload is not None
+        decoded = SubsetEffects.from_bytes(payload, 2)
+        assert _normalize(decoded.to_split_effects()) == _normalize(
+            packed.to_split_effects()
+        )
+        assert cache.get_raw_bytes("cd" + "1" * 62) is None
+        assert cache.stats["hits"] == 1
+        assert cache.stats["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# SubsetEffects packing and the frontier simulator
+# ---------------------------------------------------------------------------
+def _scalar_accepts(batches, num_metrics, alpha):
+    """Independent scalar reference of pack_batches' accept decisions."""
+    entry = _ArenaEntry(num_metrics)
+    per_batch = []
+    for batch in batches:
+        accepted = []
+        for position in range(batch.size):
+            row = batch.costs[position]
+            tag = int(batch.tags[position])
+            if _entry_covered(entry, tag, row, alpha):
+                continue
+            _entry_append(entry, object(), tag, row)
+            accepted.append(position)
+        per_batch.append(accepted)
+    return per_batch
+
+
+class TestPackBatches:
+    @given(
+        num_metrics=st.integers(min_value=1, max_value=3),
+        alpha=st.sampled_from((1.0,) + APPROX_ALPHAS),
+        data=st.data(),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_matches_scalar_reference(self, num_metrics, alpha, data):
+        batches = []
+        for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+            count = data.draw(st.integers(min_value=0, max_value=12))
+            costs = np.asarray(
+                data.draw(_rows_strategy(count, num_metrics)), dtype=np.float64
+            ).reshape(count, num_metrics)
+            tags = np.asarray(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=1),
+                        min_size=count,
+                        max_size=count,
+                    )
+                ),
+                dtype=np.int64,
+            )
+            batches.append(_batch_from(costs, tags))
+        packed = pack_batches(batches, num_metrics, alpha)
+        expected = _scalar_accepts(batches, num_metrics, alpha)
+        assert packed.num_splits == len(batches)
+        for index, batch in enumerate(batches):
+            count, records = packed.split(index)
+            assert count == batch.size
+            assert records["split"].tolist() == [index] * len(records)
+            positions = expected[index]
+            assert len(records) == len(positions)
+            for record, position in zip(records, positions):
+                assert int(record["outer"]) == int(batch.outer_pos[position])
+                assert int(record["inner"]) == int(batch.inner_pos[position])
+                assert int(record["op"]) == int(batch.op_codes[position])
+                assert _key((float(record["card"]),)) == _key(
+                    (float(batch.cardinalities[position]),)
+                )
+                assert _key(record["cost"]) == _key(batch.costs[position])
+
+    def test_accepted_dtype_is_stable_and_unpadded(self):
+        dtype = accepted_dtype(3)
+        assert dtype.itemsize == 4 * 4 + 8 + 8 * 3
+        assert accepted_dtype(3) is dtype  # memoized
+        names = dtype.names
+        assert names == ("split", "outer", "inner", "op", "card", "cost")
+
+
+class TestFrontierSimulator:
+    def test_from_columns_validates_shapes(self):
+        with pytest.raises(ValueError):
+            FrontierSimulator.from_columns(2, [1], [0], np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            FrontierSimulator.from_columns(2, [1, 2], [0], np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            FrontierSimulator.from_columns(2, [1], [0], np.zeros(2))
+
+    def test_columns_roundtrip(self):
+        rows = np.asarray([[1.0, 2.0], [3.0, 0.5]])
+        simulator = FrontierSimulator.from_columns(2, [7, 9], [0, 1], rows)
+        handles, tags, live_rows = simulator.columns()
+        assert handles == [7, 9]
+        assert tags == [0, 1]
+        assert live_rows is rows  # adopted, not copied
+        np.testing.assert_array_equal(live_rows, rows)
+        assert simulator.size == 2
+        assert simulator.num_metrics == 2
+
+    def test_borrowed_readonly_rows_never_mutated(self):
+        # The fabric hands workers read-only shared-memory views; insertion
+        # must replace the matrix, never write into the borrow.
+        rows = np.asarray([[5.0, 5.0]])
+        rows.flags.writeable = False
+        simulator = FrontierSimulator.from_columns(2, [1], [0], rows)
+        batch = _batch_from(
+            np.asarray([[1.0, 1.0]]), np.zeros(1, dtype=np.int64)
+        )
+        accepted = simulator.insert_batch(batch, 1.01)
+        assert accepted == [0]
+        np.testing.assert_array_equal(rows, [[5.0, 5.0]])  # borrow untouched
+        _, _, live_rows = simulator.columns()
+        np.testing.assert_array_equal(live_rows, [[1.0, 1.0]])  # evicted
+
+
+# ---------------------------------------------------------------------------
+# Fabric lifecycle: publish -> attach -> refresh -> unlink
+# ---------------------------------------------------------------------------
+def _shm_segments():
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-tmpfs platforms
+        return set()
+    return {name for name in os.listdir(root) if name.startswith("rdp")}
+
+
+def _run_to_completion(optimizer, watch=None):
+    names = set()
+    while not optimizer.finished:
+        optimizer.step()
+        if watch is not None and watch._fabric is not None:
+            names.update(watch._fabric.segment_names)
+    return names
+
+
+def _table_state(optimizer):
+    return {
+        tuple(sorted(rel)): [
+            (_key(p.cost), p.output_format, _key((p.cardinality,)))
+            for p in optimizer.plan_cache.plans(rel)
+        ]
+        for rel in optimizer.plan_cache.table_sets()
+    }
+
+
+class TestFabricLifecycle:
+    def test_env_gates_fabric_creation(self, chain_model, monkeypatch):
+        batch_model = BatchCostModel(chain_model)
+        for mode in ("threads", "off", "THREADS "):
+            monkeypatch.setenv("REPRO_DP_FABRIC", mode)
+            assert ShmTaskFabric.create(batch_model, 2) is None
+        monkeypatch.setenv("REPRO_DP_FABRIC", "ray")
+        with pytest.raises(ValueError, match="REPRO_DP_FABRIC"):
+            ShmTaskFabric.create(batch_model, 2)
+
+    def test_segment_growth_bumps_generation(self, chain_model):
+        fabric = ShmTaskFabric.create(BatchCostModel(chain_model), 1)
+        if fabric is None:
+            pytest.skip("platform cannot run the shm fabric")
+        try:
+            before = _shm_segments()
+            fabric._write("op", 0, np.arange(10, dtype=np.int32), 10)
+            first = fabric._segments["op"]
+            first_name = first.name
+            assert first.gen == 1
+            assert first_name in _shm_segments()
+            # Growing past capacity renames the segment (generation bump)
+            # and unlinks the old one; the preserved prefix is copied.
+            fabric._published_nodes = 10
+            fabric._write(
+                "op", 10, np.arange(5000, dtype=np.int32), 5010
+            )
+            second = fabric._segments["op"]
+            assert second.gen == 2
+            assert second.name != first_name
+            live = _shm_segments()
+            assert first_name not in live
+            assert second.name in live
+        finally:
+            fabric.close()
+        after = _shm_segments()
+        assert not (after - before), "fabric leaked shared-memory segments"
+        assert fabric.closed
+        fabric.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            fabric.flush()
+
+    def test_reduce_requires_flush(self, chain_model):
+        fabric = ShmTaskFabric.create(BatchCostModel(chain_model), 1)
+        if fabric is None:
+            pytest.skip("platform cannot run the shm fabric")
+        try:
+            with pytest.raises(RuntimeError, match="flush"):
+                fabric.reduce_shard((3,), 1.01)
+        finally:
+            fabric.close()
+
+    def test_full_run_unlinks_every_segment(self, chain_model):
+        before = _shm_segments()
+        optimizer = ArenaDPOptimizer(
+            chain_model, alpha=2.0, backend="coordinator", workers=2
+        )
+        if optimizer._fabric is None:
+            pytest.skip("platform cannot run the shm fabric")
+        used = _run_to_completion(optimizer, watch=optimizer)
+        assert used, "the run never published a segment"
+        # Finishing the DP closes the fabric (pool down, segments unlinked).
+        assert optimizer._fabric is None
+        after = _shm_segments()
+        assert not (used & after), f"leaked segments: {sorted(used & after)}"
+        assert not (after - before)
+
+    def test_worker_death_mid_level_leaks_nothing(self, chain_model):
+        sequential = ArenaDPOptimizer(chain_model, alpha=1.01, tasks_per_step=50)
+        _run_to_completion(sequential)
+
+        deaths = []
+
+        def killer(lease):
+            if lease.worker_id == "dp-worker-0" and not deaths:
+                deaths.append(lease.lease_id)
+                raise RuntimeError("injected worker death")
+
+        before = _shm_segments()
+        coordinated = ArenaDPOptimizer(
+            chain_model,
+            alpha=1.01,
+            tasks_per_step=50,
+            backend="coordinator",
+            workers=3,
+            lease_timeout=0.2,
+            on_lease=killer,
+        )
+        if coordinated._fabric is None:
+            pytest.skip("platform cannot run the shm fabric")
+        used = _run_to_completion(coordinated, watch=coordinated)
+        assert deaths, "the fault-injection hook never fired"
+        # The reassigned lease's replacement worker attached to the
+        # already-published level and produced bit-identical state.
+        assert _table_state(coordinated) == _table_state(sequential)
+        after = _shm_segments()
+        assert not (used & after), f"leaked segments: {sorted(used & after)}"
+        assert not (after - before)
+
+    def test_explicit_close_is_idempotent(self, chain_model):
+        optimizer = ArenaDPOptimizer(
+            chain_model, alpha=2.0, backend="coordinator", workers=1
+        )
+        fabric = optimizer._fabric
+        if fabric is None:
+            pytest.skip("platform cannot run the shm fabric")
+        optimizer.step()
+        optimizer.close()
+        assert fabric.closed
+        assert optimizer._fabric is None
+        optimizer.close()  # idempotent
+        assert not set(fabric.segment_names) & _shm_segments()
+
+    def test_threads_fallback_bit_identical(self, chain_model, monkeypatch):
+        monkeypatch.setenv("REPRO_DP_FABRIC", "threads")
+        fallback = ArenaDPOptimizer(
+            chain_model, alpha=1.01, backend="coordinator", workers=2
+        )
+        assert fallback._fabric is None
+        monkeypatch.delenv("REPRO_DP_FABRIC")
+        sequential = ArenaDPOptimizer(chain_model, alpha=1.01)
+        _run_to_completion(fallback)
+        _run_to_completion(sequential)
+        assert _table_state(fallback) == _table_state(sequential)
+        assert (
+            fallback.statistics.plans_built == sequential.statistics.plans_built
+        )
