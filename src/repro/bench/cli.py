@@ -21,6 +21,11 @@ Usage::
         --dir workdir --workers 2 --cache-dir ~/.repro-cache
     python -m repro.bench.cli work --dir workdir   # on any other machine
 
+    # Regression archive: re-run the workload zoo and compare its frontier
+    # fingerprints against the pinned baseline (tests/regression/archive.json):
+    python -m repro.bench.cli regress check
+    python -m repro.bench.cli regress record   # re-pin after intended changes
+
 Prints the same text report as the pytest benchmark targets; useful when
 iterating on one figure without the pytest-benchmark machinery.  With
 ``--steps``, a two-shard ``merge`` — and a ``coordinate`` run with any
@@ -61,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         choices=sorted(figures.FIGURE_SPECS) + ["figure3"],
-        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha)",
+        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha, zoo)",
     )
     parser.add_argument(
         "--scale",
@@ -179,7 +184,7 @@ def build_coordinate_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         choices=sorted(figures.FIGURE_SPECS),
-        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha)",
+        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha, zoo)",
     )
     parser.add_argument("--dir", required=True, help="shared work directory")
     parser.add_argument(
@@ -260,6 +265,80 @@ def build_work_parser() -> argparse.ArgumentParser:
         help="stop after executing this many batches",
     )
     return parser
+
+
+def build_regress_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``regress`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli regress",
+        description=(
+            "Frontier-fingerprint regression archive: re-run the workload "
+            "zoo and compare against (or update) the pinned archive."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=["check", "record", "diff", "lint"],
+        help=(
+            "check: fail on any drift from the pinned archive; "
+            "record: re-pin the archive from a fresh zoo run; "
+            "diff: print the comparison without failing; "
+            "lint: validate the pinned archive file and its zoo coverage"
+        ),
+    )
+    parser.add_argument(
+        "--archive",
+        type=str,
+        default="tests/regression/archive.json",
+        help="pinned archive path (default: tests/regression/archive.json)",
+    )
+    parser.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        help="also write the diff report to this file (check/diff)",
+    )
+    return parser
+
+
+def _run_regress(argv: Sequence[str]) -> str:
+    from repro.regress import diff_archives, load_archive, run_zoo, save_archive
+    from repro.regress.zoo import coverage_summary, zoo_coordinates
+
+    args = build_regress_parser().parse_args(argv)
+
+    if args.action == "lint":
+        archive = load_archive(args.archive)  # raises on any corruption
+        coverage = coverage_summary(archive)
+        pinned = {entry.coordinate for entry in archive.entries()}
+        missing = [c for c in zoo_coordinates() if c not in pinned]
+        lines = [
+            f"[archive ok: {coverage['entries']} entries — "
+            f"{coverage['shapes']} shapes x {coverage['stat_models']} stat "
+            f"models x {coverage['algorithms']} algorithms x "
+            f"{coverage['engines']} engines]"
+        ]
+        if missing:
+            lines.append(f"{len(missing)} zoo coordinate(s) not pinned:")
+            lines.extend(f"  {coordinate.label}" for coordinate in missing[:20])
+            raise SystemExit("\n".join(lines))
+        return "\n".join(lines)
+
+    if args.action == "record":
+        archive = run_zoo()
+        save_archive(archive, args.archive)
+        return f"[recorded {len(archive)} fingerprints to {args.archive}]"
+
+    pinned = load_archive(args.archive)
+    fresh = run_zoo()
+    diff = diff_archives(pinned, fresh)
+    report = diff.render()
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    if args.action == "check" and not diff.ok:
+        raise SystemExit(report)
+    return report
 
 
 def _cache_cap_bytes(args: argparse.Namespace) -> int | None:
@@ -400,6 +479,8 @@ def run(argv: Sequence[str] | None = None) -> str:
         return _run_coordinate(argv[1:])
     if argv and argv[0] == "work":
         return _run_work(argv[1:])
+    if argv and argv[0] == "regress":
+        return _run_regress(argv[1:])
 
     args = build_parser().parse_args(argv)
     scale = ScenarioScale(args.scale)

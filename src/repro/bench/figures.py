@@ -23,7 +23,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.baselines import PAPER_ALGORITHMS
 from repro.bench.scenario import ScenarioScale, ScenarioSpec
-from repro.query.generator import SelectivityModel
+from repro.query.generator import CardinalityModel, SelectivityModel
 from repro.query.join_graph import GraphShape
 
 #: All three join-graph shapes of the evaluation.
@@ -254,6 +254,38 @@ def ablation_alpha_spec(scale: ScenarioScale = ScenarioScale.DEFAULT) -> Scenari
     )
 
 
+def zoo_spec(scale: ScenarioScale = ScenarioScale.DEFAULT) -> ScenarioSpec:
+    """Workload zoo: every shape (incl. snowflake) under skewed statistics.
+
+    Extends the paper's grid along the workload axes of the regression zoo:
+    all five join-graph topologies, Zipf-skewed base-table cardinalities,
+    and correlated/low selectivities.  Table counts start at the snowflake
+    minimum (4 tables).
+    """
+    tables, cases, budget, checkpoints, population = _grid_scale(
+        scale,
+        paper_tables=(10, 25),
+        default_tables=(6, 10),
+        smoke_tables=(5, 6),
+        paper_budget=3.0,
+    )
+    return ScenarioSpec(
+        name="zoo",
+        description="All join-graph shapes under skewed (Zipf/correlated) statistics",
+        graph_shapes=ALL_SHAPES + (GraphShape.CLIQUE, GraphShape.SNOWFLAKE),
+        table_counts=tables,
+        num_metrics=3,
+        algorithms=RANDOMIZED_ALGORITHMS,
+        num_test_cases=cases,
+        selectivity_model=SelectivityModel.CORRELATED,
+        cardinality_model=CardinalityModel.ZIPF,
+        time_budget=budget,
+        checkpoints=checkpoints,
+        nsga_population=population,
+        scale=scale,
+    )
+
+
 #: Mapping from figure identifiers to spec constructors (used by tests/benches).
 FIGURE_SPECS = {
     "figure1": figure1_spec,
@@ -266,6 +298,7 @@ FIGURE_SPECS = {
     "figure9": figure9_spec,
     "ablation_rmq": ablation_rmq_spec,
     "ablation_alpha": ablation_alpha_spec,
+    "zoo": zoo_spec,
 }
 
 

@@ -16,12 +16,13 @@ tables) take hours in pure Python, each figure spec exists at three scales:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Tuple
 
 from repro.cost.metrics import PAPER_METRICS
-from repro.query.generator import SelectivityModel
+from repro.query.generator import CardinalityModel, SelectivityModel
 from repro.query.join_graph import GraphShape
 
 
@@ -52,7 +53,17 @@ class ScenarioSpec:
     metric_pool:
         Metrics to sample from (defaults to the paper's time/buffer/disk).
     selectivity_model:
-        Steinbrunn (main experiments) or MinMax (appendix experiments).
+        Steinbrunn (main experiments), MinMax (appendix experiments), or the
+        workload-zoo correlated/low-selectivity model.
+    cardinality_model:
+        Uniform stratified sampling (the paper's setup) or Zipf-skewed
+        strata (workload zoo).
+    catalog_json:
+        Optional catalog schema as a canonical JSON string
+        (:meth:`repro.query.catalog.Catalog.to_json_dict`, serialized).
+        When set, generated queries draw their tables from this fixed
+        catalog instead of sampling synthetic statistics; the string form
+        keeps the frozen spec hashable and provenance-stable.
     algorithms:
         Report names of the algorithms to compare (see
         :func:`repro.baselines.make_optimizer`).
@@ -113,6 +124,8 @@ class ScenarioSpec:
     algorithms: Tuple[str, ...]
     num_test_cases: int = 3
     selectivity_model: SelectivityModel = SelectivityModel.STEINBRUNN
+    cardinality_model: CardinalityModel = CardinalityModel.UNIFORM
+    catalog_json: str | None = None
     metric_pool: Tuple[str, ...] = PAPER_METRICS
     time_budget: float = 1.0
     checkpoints: Tuple[float, ...] = (0.25, 0.5, 1.0)
@@ -171,6 +184,13 @@ class ScenarioSpec:
             raise ValueError(
                 f"backend must be 'local' or 'coordinator', got {self.backend!r}"
             )
+        if self.catalog_json is not None:
+            try:
+                parsed = json.loads(self.catalog_json)
+            except (TypeError, json.JSONDecodeError):
+                raise ValueError("catalog_json must be a JSON object string") from None
+            if not isinstance(parsed, dict):
+                raise ValueError("catalog_json must be a JSON object string")
 
     # ------------------------------------------------------------ utilities
     @property
@@ -219,6 +239,8 @@ class ScenarioSpec:
             "algorithms": list(self.algorithms),
             "num_test_cases": self.num_test_cases,
             "selectivity_model": str(self.selectivity_model),
+            "cardinality_model": str(self.cardinality_model),
+            "catalog_json": self.catalog_json,
             "metric_pool": list(self.metric_pool),
             "time_budget": self.time_budget,
             "checkpoints": list(self.checkpoints),
@@ -249,6 +271,8 @@ class ScenarioSpec:
             algorithms=tuple(data["algorithms"]),
             num_test_cases=data["num_test_cases"],
             selectivity_model=SelectivityModel(data["selectivity_model"]),
+            cardinality_model=CardinalityModel(data.get("cardinality_model", "uniform")),
+            catalog_json=data.get("catalog_json"),
             metric_pool=tuple(data["metric_pool"]),
             time_budget=data["time_budget"],
             checkpoints=tuple(data["checkpoints"]),

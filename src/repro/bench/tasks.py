@@ -74,6 +74,7 @@ from repro.core.frontier import AlphaSchedule
 from repro.core.interface import AnytimeOptimizer
 from repro.core.rmq import RMQOptimizer
 from repro.cost.model import MultiObjectiveCostModel, sample_metric_names
+from repro.query.catalog import catalog_from_json_dict
 from repro.query.generator import GeneratorConfig, QueryGenerator
 from repro.query.join_graph import GraphShape
 from repro.query.query import Query
@@ -242,6 +243,8 @@ def _execution_fields(spec: ScenarioSpec, role: str) -> dict:
     fields = {
         "seed": spec.seed,
         "selectivity_model": str(spec.selectivity_model),
+        "cardinality_model": str(spec.cardinality_model),
+        "catalog_json": spec.catalog_json,
         "num_metrics": spec.num_metrics,
         "metric_pool": list(spec.metric_pool),
     }
@@ -399,9 +402,18 @@ def build_test_case(
     rebuilds an identical cost model in any process.
     """
     query_rng = derive_rng(spec.seed, "query", str(shape), num_tables, case_index)
+    catalog = (
+        None
+        if spec.catalog_json is None
+        else catalog_from_json_dict(json.loads(spec.catalog_json))
+    )
     generator = QueryGenerator(
         rng=query_rng,
-        config=GeneratorConfig(selectivity_model=spec.selectivity_model),
+        config=GeneratorConfig(
+            selectivity_model=spec.selectivity_model,
+            cardinality_model=spec.cardinality_model,
+            catalog=catalog,
+        ),
     )
     query: Query = generator.generate(
         num_tables, shape, name=f"{shape}_{num_tables}_{case_index}"

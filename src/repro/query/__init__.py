@@ -25,8 +25,18 @@ provide:
 from repro.query.table import Table
 from repro.query.join_graph import GraphShape, JoinGraph
 from repro.query.query import Query
-from repro.query.catalog import Catalog
-from repro.query.generator import QueryGenerator, SelectivityModel
+from repro.query.catalog import (
+    Catalog,
+    catalog_from_json_dict,
+    job_sample_catalog,
+    load_catalog,
+)
+from repro.query.generator import (
+    CardinalityModel,
+    GeneratorConfig,
+    QueryGenerator,
+    SelectivityModel,
+)
 
 __all__ = [
     "Table",
@@ -34,6 +44,11 @@ __all__ = [
     "JoinGraph",
     "Query",
     "Catalog",
+    "catalog_from_json_dict",
+    "job_sample_catalog",
+    "load_catalog",
+    "CardinalityModel",
+    "GeneratorConfig",
     "QueryGenerator",
     "SelectivityModel",
 ]

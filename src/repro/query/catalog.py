@@ -1,18 +1,67 @@
-"""A simple database catalog.
+"""A simple database catalog, with a JSON schema import path.
 
 The optimizer proper only needs the per-query :class:`~repro.query.query.Query`
 object, but a realistic library also offers a catalog abstraction: a named
 collection of base tables from which queries can be assembled.  The examples
 use it to define small, readable scenarios (e.g. a cloud analytics schema).
+
+Beyond hand-built catalogs, :func:`load_catalog` / :func:`catalog_from_json_dict`
+import a JSON schema of *real* table and column statistics (cardinalities,
+row widths, per-column distinct counts).  A catalog loaded this way can be
+handed to :class:`~repro.query.generator.QueryGenerator` via
+``GeneratorConfig(catalog=...)`` so that generated workloads draw their base
+tables from fixed, realistic statistics instead of sampled ones — the
+JOB-style import path of the workload zoo.  A micro-scaled IMDB/JOB sample
+schema ships with the package (:func:`job_sample_catalog`).
+
+Examples
+--------
+>>> from repro.query.catalog import Catalog, catalog_from_json_dict
+>>> catalog = catalog_from_json_dict({
+...     "format": "repro-catalog-v1",
+...     "tables": [
+...         {"name": "title", "cardinality": 1000, "row_width": 94,
+...          "columns": {"id": 1000, "kind_id": 7}},
+...         {"name": "kind_type", "cardinality": 7, "row_width": 20},
+...     ],
+... })
+>>> catalog.table_names()
+['title', 'kind_type']
+>>> catalog.join_key_distinct("title")   # largest declared distinct count
+1000.0
+>>> catalog.join_key_distinct("kind_type")  # no columns: fall back to |T|
+7.0
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.query.join_graph import JoinGraph
 from repro.query.query import Query
 from repro.query.table import DEFAULT_ROW_WIDTH_BYTES, Table
+
+#: Version tag of the catalog JSON schema format.
+CATALOG_FORMAT = "repro-catalog-v1"
+
+#: Bundled micro-scaled IMDB/JOB sample schema (shipped with the package).
+_JOB_SAMPLE_PATH = os.path.join(os.path.dirname(__file__), "schemas", "imdb_job.json")
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics of one catalog table.
+
+    ``columns`` maps column names to distinct-value counts; it may be empty
+    when the schema source only provides table-level statistics.
+    """
+
+    cardinality: float
+    row_width: float
+    columns: Tuple[Tuple[str, float], ...] = field(default=())
 
 
 class Catalog:
@@ -24,7 +73,7 @@ class Catalog:
     """
 
     def __init__(self) -> None:
-        self._tables: Dict[str, Tuple[float, float]] = {}
+        self._tables: Dict[str, TableStats] = {}
 
     # ------------------------------------------------------------- mutation
     def add_table(
@@ -32,13 +81,32 @@ class Catalog:
         name: str,
         cardinality: float,
         row_width: float = DEFAULT_ROW_WIDTH_BYTES,
+        columns: Mapping[str, float] | None = None,
     ) -> None:
-        """Register a table; re-registering a name overwrites its statistics."""
+        """Register a table; re-registering a name overwrites its statistics.
+
+        ``columns`` optionally maps column names to distinct-value counts
+        (each at least 1 and at most the table cardinality is *not*
+        enforced — real-world statistics are often stale — but counts must
+        be positive).
+        """
         if cardinality < 1:
             raise ValueError(f"cardinality must be at least 1, got {cardinality}")
         if row_width <= 0:
             raise ValueError(f"row width must be positive, got {row_width}")
-        self._tables[name] = (float(cardinality), float(row_width))
+        column_stats: List[Tuple[str, float]] = []
+        for column_name, distinct in (columns or {}).items():
+            if distinct < 1:
+                raise ValueError(
+                    f"column {name}.{column_name}: distinct count must be at "
+                    f"least 1, got {distinct}"
+                )
+            column_stats.append((column_name, float(distinct)))
+        self._tables[name] = TableStats(
+            cardinality=float(cardinality),
+            row_width=float(row_width),
+            columns=tuple(column_stats),
+        )
 
     def remove_table(self, name: str) -> None:
         """Remove a table from the catalog."""
@@ -53,7 +121,28 @@ class Catalog:
 
     def cardinality(self, name: str) -> float:
         """Cardinality of a registered table."""
-        return self._tables[name][0]
+        return self._tables[name].cardinality
+
+    def row_width(self, name: str) -> float:
+        """Row width (bytes) of a registered table."""
+        return self._tables[name].row_width
+
+    def columns(self, name: str) -> Tuple[Tuple[str, float], ...]:
+        """``(column name, distinct count)`` pairs of a registered table."""
+        return self._tables[name].columns
+
+    def join_key_distinct(self, name: str) -> float:
+        """Distinct count of the table's most selective join key.
+
+        The largest declared per-column distinct count — the canonical
+        choice for an equi-join key (primary keys dominate).  Falls back to
+        the table cardinality when the schema declares no columns, which is
+        the textbook upper bound for a key column.
+        """
+        stats = self._tables[name]
+        if not stats.columns:
+            return stats.cardinality
+        return max(distinct for _, distinct in stats.columns)
 
     def table_names(self) -> List[str]:
         """All registered table names in insertion order."""
@@ -95,9 +184,14 @@ class Catalog:
         index_of = {table_name: i for i, table_name in enumerate(table_names)}
         tables = []
         for i, table_name in enumerate(table_names):
-            cardinality, row_width = self._tables[table_name]
+            stats = self._tables[table_name]
             tables.append(
-                Table(index=i, name=table_name, cardinality=cardinality, row_width=row_width)
+                Table(
+                    index=i,
+                    name=table_name,
+                    cardinality=stats.cardinality,
+                    row_width=stats.row_width,
+                )
             )
 
         graph = JoinGraph(len(table_names))
@@ -107,5 +201,94 @@ class Catalog:
             graph.add_edge(index_of[left], index_of[right], selectivity)
         return Query(tables, graph, name=name)
 
+    # -------------------------------------------------------- serialization
+    def to_json_dict(self) -> dict:
+        """Plain-JSON schema of the catalog (:data:`CATALOG_FORMAT`).
+
+        Round-trips exactly through :func:`catalog_from_json_dict`; the
+        scenario layer embeds this representation in specs so that
+        catalog-backed workloads stay serializable and provenance-hashable.
+        """
+        return {
+            "format": CATALOG_FORMAT,
+            "tables": [
+                {
+                    "name": name,
+                    "cardinality": stats.cardinality,
+                    "row_width": stats.row_width,
+                    "columns": {column: distinct for column, distinct in stats.columns},
+                }
+                for name, stats in self._tables.items()
+            ],
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Catalog(num_tables={self.num_tables})"
+
+
+def catalog_from_json_dict(data: dict) -> Catalog:
+    """Build a :class:`Catalog` from a JSON schema dict.
+
+    The schema must carry the :data:`CATALOG_FORMAT` tag and a ``tables``
+    list; every table needs a unique ``name`` and a ``cardinality``, and may
+    declare a ``row_width`` and a ``columns`` mapping of distinct counts.
+    Malformed schemas raise ``ValueError`` naming the offending table — a
+    corrupt schema must never silently shrink a workload.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"catalog schema must be a JSON object, got {type(data).__name__}")
+    if data.get("format") != CATALOG_FORMAT:
+        raise ValueError(
+            f"not a {CATALOG_FORMAT} schema (format={data.get('format')!r})"
+        )
+    tables = data.get("tables")
+    if not isinstance(tables, list) or not tables:
+        raise ValueError("catalog schema needs a non-empty 'tables' list")
+    catalog = Catalog()
+    for position, entry in enumerate(tables):
+        if not isinstance(entry, dict) or "name" not in entry or "cardinality" not in entry:
+            raise ValueError(
+                f"catalog table #{position}: needs at least 'name' and 'cardinality'"
+            )
+        name = entry["name"]
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"catalog table #{position}: invalid name {name!r}")
+        if catalog.has_table(name):
+            raise ValueError(f"catalog table {name!r} is declared twice")
+        columns = entry.get("columns") or {}
+        if not isinstance(columns, dict):
+            raise ValueError(f"catalog table {name!r}: 'columns' must be a mapping")
+        try:
+            catalog.add_table(
+                name,
+                float(entry["cardinality"]),
+                row_width=float(entry.get("row_width", DEFAULT_ROW_WIDTH_BYTES)),
+                columns={column: float(distinct) for column, distinct in columns.items()},
+            )
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"catalog table {name!r}: {error}") from None
+    return catalog
+
+
+def load_catalog(path: str) -> Catalog:
+    """Load a :data:`CATALOG_FORMAT` JSON schema file into a :class:`Catalog`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON ({error})") from None
+    try:
+        return catalog_from_json_dict(data)
+    except ValueError as error:
+        raise ValueError(f"{path}: {error}") from None
+
+
+def job_sample_catalog() -> Catalog:
+    """The bundled micro-scaled IMDB/JOB sample schema.
+
+    Real table/column statistics (scaled-down cardinalities in the original
+    proportions) for twelve IMDB tables of the Join Order Benchmark; the
+    fixed-catalog workload of the regression zoo and a ready-made example of
+    the JSON import path.
+    """
+    return load_catalog(_JOB_SAMPLE_PATH)

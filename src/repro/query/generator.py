@@ -12,6 +12,23 @@ Steinbrunn et al. draw base-table cardinalities from strata
 selectivities uniformly from ``[1 / max(card(left), card(right)), 1]``.
 Bruno's MinMax method instead picks the selectivity such that the join output
 cardinality lies (uniformly) between the cardinalities of the two inputs.
+
+The workload zoo extends that grid along three axes:
+
+* **Skewed cardinalities** — :class:`CardinalityModel.ZIPF` draws the
+  stratum with Zipf weights (``P(stratum k) ∝ 1/(k+1)^s``) instead of
+  uniformly, so small tables dominate and the occasional large fact table
+  creates the heavy-tailed size mix of real schemas.
+* **Correlated / low selectivities** — :class:`SelectivityModel.CORRELATED`
+  concentrates predicate selectivities near the key-join lower bound
+  ``1/max(card)`` (correlated predicates behave like near-key joins), by
+  sampling ``lower ** u`` with ``u`` uniform in
+  ``[correlation_strength, 1]``.
+* **Fixed catalogs** — ``GeneratorConfig(catalog=...)`` replaces sampled
+  base-table statistics with real ones (e.g. the bundled JOB/IMDB sample,
+  :func:`repro.query.catalog.job_sample_catalog`): tables are drawn from
+  the catalog and edge selectivities use the textbook equi-join estimate
+  ``1/max(V(left), V(right))`` over declared join-key distinct counts.
 """
 
 from __future__ import annotations
@@ -19,9 +36,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.query.join_graph import GraphShape, JoinGraph
+from repro.query.catalog import Catalog
+from repro.query.join_graph import GraphShape, JoinGraph, snowflake_edges
 from repro.query.query import Query
 from repro.query.table import DEFAULT_ROW_WIDTH_BYTES, Table
 
@@ -33,14 +51,40 @@ CARDINALITY_STRATA: Tuple[Tuple[float, float], ...] = (
     (10_000.0, 100_000.0),
 )
 
+#: Minimum table count per join-graph shape below which the topology
+#: degenerates (a 2-table "cycle" is a chain, a 3-table "snowflake" a star).
+#: :meth:`QueryGenerator.generate` rejects degenerate requests outright.
+SHAPE_MIN_TABLES: Dict[GraphShape, int] = {
+    GraphShape.CHAIN: 1,
+    GraphShape.STAR: 2,
+    GraphShape.CYCLE: 3,
+    GraphShape.CLIQUE: 2,
+    GraphShape.SNOWFLAKE: 4,
+}
+
 
 class SelectivityModel(str, Enum):
-    """Join-predicate selectivity models used in the paper."""
+    """Join-predicate selectivity models of the workload zoo."""
 
     #: Steinbrunn et al.: uniform in ``[1 / max(card_a, card_b), 1]``.
     STEINBRUNN = "steinbrunn"
     #: Bruno's MinMax: join output cardinality lies between the two inputs.
     MINMAX = "minmax"
+    #: Correlated / low-selectivity joins: concentrated near ``1/max(card)``.
+    CORRELATED = "correlated"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CardinalityModel(str, Enum):
+    """Base-table cardinality models of the workload zoo."""
+
+    #: Steinbrunn et al.: stratum chosen uniformly, value uniform within.
+    UNIFORM = "uniform"
+    #: Zipf-weighted stratum choice (``P(k) ∝ 1/(k+1)^zipf_skew``), value
+    #: uniform within the stratum: skewed towards small tables.
+    ZIPF = "zipf"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -48,11 +92,46 @@ class SelectivityModel(str, Enum):
 
 @dataclass(frozen=True)
 class GeneratorConfig:
-    """Tunable knobs of the random query generator."""
+    """Tunable knobs of the random query generator.
+
+    Attributes
+    ----------
+    selectivity_model / cardinality_model:
+        The distribution families described in the module docstring.
+    row_width:
+        Row width of generated tables (catalog tables carry their own).
+    cardinality_strata:
+        Strata for stratified cardinality sampling.
+    zipf_skew:
+        Skew exponent ``s`` of the Zipf stratum weights (``ZIPF`` model
+        only); larger values concentrate mass on the small strata.
+    correlation_strength:
+        Lower bound of the exponent ``u`` in the ``CORRELATED`` draw
+        ``selectivity = (1/max(card)) ** u`` with ``u ~ U[strength, 1]``;
+        must lie in ``(0, 1]``.  ``1.0`` pins every edge to the key-join
+        bound, smaller values admit weaker correlation.
+    catalog:
+        Optional fixed catalog.  When set, generated queries draw their
+        tables (without replacement) from the catalog and take
+        cardinalities, row widths, and join-key distinct counts from it
+        instead of sampling synthetic statistics.
+    """
 
     selectivity_model: SelectivityModel = SelectivityModel.STEINBRUNN
+    cardinality_model: CardinalityModel = CardinalityModel.UNIFORM
     row_width: float = DEFAULT_ROW_WIDTH_BYTES
     cardinality_strata: Tuple[Tuple[float, float], ...] = CARDINALITY_STRATA
+    zipf_skew: float = 1.5
+    correlation_strength: float = 0.5
+    catalog: Catalog | None = None
+
+    def __post_init__(self) -> None:
+        if self.zipf_skew <= 0:
+            raise ValueError(f"zipf_skew must be positive, got {self.zipf_skew}")
+        if not 0 < self.correlation_strength <= 1:
+            raise ValueError(
+                f"correlation_strength must be in (0, 1], got {self.correlation_strength}"
+            )
 
 
 class QueryGenerator:
@@ -79,12 +158,31 @@ class QueryGenerator:
     def sample_cardinality(self) -> float:
         """Draw one table cardinality via stratified sampling.
 
-        A stratum is chosen uniformly, then a cardinality is drawn uniformly
-        within the stratum.  This reproduces the heavy spread of table sizes
-        of the Steinbrunn setup without favouring the large strata.
+        Under the ``UNIFORM`` model a stratum is chosen uniformly; under
+        ``ZIPF`` the stratum is chosen with Zipf weights
+        (``P(k) ∝ 1/(k+1)^zipf_skew`` over the strata in declared order).
+        Either way the cardinality is then drawn uniformly within the
+        stratum, reproducing the heavy spread of table sizes of the
+        Steinbrunn setup — skewed towards small tables under ``ZIPF``.
         """
-        low, high = self._rng.choice(self._config.cardinality_strata)
+        if self._config.cardinality_model is CardinalityModel.ZIPF:
+            low, high = self._zipf_stratum()
+        else:
+            low, high = self._rng.choice(self._config.cardinality_strata)
         return float(self._rng.uniform(low, high))
+
+    def _zipf_stratum(self) -> Tuple[float, float]:
+        """Choose a stratum with Zipf weights ``1/(k+1)^zipf_skew``."""
+        strata = self._config.cardinality_strata
+        weights = [1.0 / (rank + 1) ** self._config.zipf_skew for rank in range(len(strata))]
+        total = sum(weights)
+        draw = self._rng.random() * total
+        cumulative = 0.0
+        for stratum, weight in zip(strata, weights):
+            cumulative += weight
+            if draw < cumulative:
+                return stratum
+        return strata[-1]
 
     def sample_cardinalities(self, count: int) -> List[float]:
         """Draw ``count`` table cardinalities."""
@@ -94,6 +192,8 @@ class QueryGenerator:
         """Draw a join-predicate selectivity for the configured model."""
         if self._config.selectivity_model is SelectivityModel.STEINBRUNN:
             return self._steinbrunn_selectivity(card_left, card_right)
+        if self._config.selectivity_model is SelectivityModel.CORRELATED:
+            return self._correlated_selectivity(card_left, card_right)
         return self._minmax_selectivity(card_left, card_right)
 
     def _steinbrunn_selectivity(self, card_left: float, card_right: float) -> float:
@@ -115,6 +215,19 @@ class QueryGenerator:
         selectivity = target_output / (card_left * card_right)
         return float(min(1.0, max(selectivity, 1e-12)))
 
+    def _correlated_selectivity(self, card_left: float, card_right: float) -> float:
+        """Low-selectivity draw concentrated near the key-join bound.
+
+        Samples ``lower ** u`` with ``lower = 1/max(card)`` and ``u`` uniform
+        in ``[correlation_strength, 1]``: every value stays within
+        ``[lower, 1]`` (``u = 1`` is the exact key join, smaller exponents
+        admit weaker predicates), and mass concentrates at low selectivities
+        the way correlated multi-predicate joins do.
+        """
+        lower = 1.0 / max(card_left, card_right)
+        exponent = self._rng.uniform(self._config.correlation_strength, 1.0)
+        return float(lower**exponent)
+
     # --------------------------------------------------------------- queries
     def generate(
         self,
@@ -127,25 +240,32 @@ class QueryGenerator:
         Parameters
         ----------
         num_tables:
-            Number of tables the query joins.
+            Number of tables the query joins.  Must be at least
+            :data:`SHAPE_MIN_TABLES` for the requested shape — below that a
+            topology silently degenerates into a different one (a 2-table
+            "cycle" is a chain), which would poison shape-keyed results.
         shape:
-            Join-graph topology (chain, cycle, star or clique).
+            Join-graph topology (chain, cycle, star, clique or snowflake).
         name:
             Optional query name; a descriptive default is derived otherwise.
         """
         if num_tables < 1:
             raise ValueError(f"a query needs at least one table, got {num_tables}")
-        cardinalities = self.sample_cardinalities(num_tables)
-        tables = [
-            Table(
-                index=i,
-                name=f"t{i}",
-                cardinality=cardinalities[i],
-                row_width=self._config.row_width,
-            )
-            for i in range(num_tables)
-        ]
-        selectivities = self._edge_selectivities(shape, cardinalities)
+        if self._config.catalog is not None:
+            tables = self._catalog_tables(num_tables)
+            cardinalities = [table.cardinality for table in tables]
+        else:
+            cardinalities = self.sample_cardinalities(num_tables)
+            tables = [
+                Table(
+                    index=i,
+                    name=f"t{i}",
+                    cardinality=cardinalities[i],
+                    row_width=self._config.row_width,
+                )
+                for i in range(num_tables)
+            ]
+        selectivities = self._edge_selectivities(shape, cardinalities, tables)
         graph = JoinGraph.from_shape(shape, num_tables, selectivities)
         query_name = name if name is not None else f"{shape.value}_{num_tables}"
         return Query(tables, graph, name=query_name)
@@ -163,12 +283,46 @@ class QueryGenerator:
         ]
 
     # ------------------------------------------------------------ internals
+    def _catalog_tables(self, num_tables: int) -> List[Table]:
+        """Draw ``num_tables`` distinct tables from the fixed catalog."""
+        catalog = self._config.catalog
+        assert catalog is not None
+        names = catalog.table_names()
+        if num_tables > len(names):
+            raise ValueError(
+                f"catalog holds {len(names)} tables; cannot draw {num_tables}"
+            )
+        chosen = self._rng.sample(names, num_tables)
+        return [
+            Table(
+                index=i,
+                name=table_name,
+                cardinality=catalog.cardinality(table_name),
+                row_width=catalog.row_width(table_name),
+            )
+            for i, table_name in enumerate(chosen)
+        ]
+
     def _edge_selectivities(
-        self, shape: GraphShape, cardinalities: Sequence[float]
+        self,
+        shape: GraphShape,
+        cardinalities: Sequence[float],
+        tables: Sequence[Table] | None = None,
     ) -> List[float]:
-        """Selectivities for every edge of the given shape, in builder order."""
+        """Selectivities for every edge of the given shape, in builder order.
+
+        Catalog-backed queries use the deterministic textbook equi-join
+        estimate ``1/max(V(left), V(right))`` over the tables' join-key
+        distinct counts (the catalog carries *real* statistics, so edges are
+        derived rather than sampled); synthetic queries sample from the
+        configured selectivity model.
+        """
         num_tables = len(cardinalities)
         endpoints = self._edge_endpoints(shape, num_tables)
+        catalog = self._config.catalog
+        if catalog is not None and tables is not None:
+            distinct = [catalog.join_key_distinct(table.name) for table in tables]
+            return [1.0 / max(distinct[a], distinct[b]) for a, b in endpoints]
         return [
             self.sample_selectivity(cardinalities[a], cardinalities[b])
             for a, b in endpoints
@@ -176,18 +330,29 @@ class QueryGenerator:
 
     @staticmethod
     def _edge_endpoints(shape: GraphShape, num_tables: int) -> List[Tuple[int, int]]:
-        """Edge endpoints in the order the JoinGraph builders expect them."""
+        """Edge endpoints in the order the JoinGraph builders expect them.
+
+        Validates that the shape is non-degenerate at this table count
+        (:data:`SHAPE_MIN_TABLES`): a 2-table "cycle" would silently come
+        out as a chain and a 3-table "snowflake" as a star, corrupting any
+        result keyed by shape.
+        """
+        minimum = SHAPE_MIN_TABLES.get(shape)
+        if minimum is None:
+            raise ValueError(f"unknown graph shape: {shape}")
+        if num_tables < minimum:
+            raise ValueError(
+                f"a {shape.value} join graph needs at least {minimum} tables, "
+                f"got {num_tables} (the topology degenerates below that)"
+            )
         if shape is GraphShape.CHAIN:
             return [(i, i + 1) for i in range(num_tables - 1)]
         if shape is GraphShape.CYCLE:
             edges = [(i, i + 1) for i in range(num_tables - 1)]
-            if num_tables >= 3:
-                edges.append((num_tables - 1, 0))
+            edges.append((num_tables - 1, 0))
             return edges
         if shape is GraphShape.STAR:
             return [(0, i) for i in range(1, num_tables)]
-        if shape is GraphShape.CLIQUE:
-            return [
-                (a, b) for a in range(num_tables) for b in range(a + 1, num_tables)
-            ]
-        raise ValueError(f"unknown graph shape: {shape}")
+        if shape is GraphShape.SNOWFLAKE:
+            return snowflake_edges(num_tables)
+        return [(a, b) for a in range(num_tables) for b in range(a + 1, num_tables)]

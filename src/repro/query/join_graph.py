@@ -13,8 +13,9 @@ by the cost models in the paper's lineage (Steinbrunn et al.).
 
 from __future__ import annotations
 
+import math
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 
 class GraphShape(str, Enum):
@@ -24,9 +25,53 @@ class GraphShape(str, Enum):
     CYCLE = "cycle"
     STAR = "star"
     CLIQUE = "clique"
+    #: Star hub with chain arms (a star schema whose dimensions are
+    #: themselves normalized into chains) — the workload-zoo extension
+    #: beyond the paper's chain/cycle/star grid.
+    SNOWFLAKE = "snowflake"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+def snowflake_arm_lengths(num_tables: int) -> List[int]:
+    """Chain-arm lengths of a snowflake over ``num_tables`` tables.
+
+    Table 0 is the hub; the remaining ``num_tables - 1`` tables are split
+    into ``ceil(sqrt(num_tables - 1))`` chain arms of near-equal length
+    (earlier arms get the extra tables).  The layout is a pure function of
+    the table count, so every consumer — graph builder, query generator,
+    tests — derives the identical topology.
+
+    >>> snowflake_arm_lengths(4)
+    [2, 1]
+    >>> snowflake_arm_lengths(10)
+    [3, 3, 3]
+    """
+    spokes = num_tables - 1
+    if spokes <= 0:
+        return []
+    num_arms = math.isqrt(spokes)
+    if num_arms * num_arms < spokes:
+        num_arms += 1
+    base, extra = divmod(spokes, num_arms)
+    return [base + (1 if arm < extra else 0) for arm in range(num_arms)]
+
+
+def snowflake_edges(num_tables: int) -> List[Tuple[int, int]]:
+    """Edge endpoints of a snowflake graph, in canonical builder order.
+
+    Arms own contiguous table-index ranges; per arm the hub edge comes
+    first, then the chain edges outward.
+    """
+    edges: List[Tuple[int, int]] = []
+    first = 1
+    for length in snowflake_arm_lengths(num_tables):
+        edges.append((0, first))
+        for table in range(first, first + length - 1):
+            edges.append((table, table + 1))
+        first += length
+    return edges
 
 
 def _normalize_edge(a: int, b: int) -> Tuple[int, int]:
@@ -207,6 +252,25 @@ class JoinGraph:
         return graph
 
     @classmethod
+    def snowflake(cls, num_tables: int, selectivities: Iterable[float]) -> "JoinGraph":
+        """Snowflake graph: star hub (table 0) with chain arms.
+
+        The arm layout is :func:`snowflake_arm_lengths`; edges are expected
+        in :func:`snowflake_edges` order (per arm: hub edge, then chain
+        edges outward).
+        """
+        graph = cls(num_tables)
+        values = list(selectivities)
+        expected = max(0, num_tables - 1)
+        if len(values) != expected:
+            raise ValueError(
+                f"snowflake of {num_tables} tables needs {expected} selectivities"
+            )
+        for (a, b), selectivity in zip(snowflake_edges(num_tables), values):
+            graph.add_edge(a, b, selectivity)
+        return graph
+
+    @classmethod
     def from_shape(
         cls, shape: GraphShape, num_tables: int, selectivities: Iterable[float]
     ) -> "JoinGraph":
@@ -216,13 +280,14 @@ class JoinGraph:
             GraphShape.CYCLE: cls.cycle,
             GraphShape.STAR: cls.star,
             GraphShape.CLIQUE: cls.clique,
+            GraphShape.SNOWFLAKE: cls.snowflake,
         }
         return builders[shape](num_tables, selectivities)
 
     @staticmethod
     def edge_count_for_shape(shape: GraphShape, num_tables: int) -> int:
         """Number of predicates a graph of ``shape`` over ``num_tables`` has."""
-        if shape is GraphShape.CHAIN or shape is GraphShape.STAR:
+        if shape in (GraphShape.CHAIN, GraphShape.STAR, GraphShape.SNOWFLAKE):
             return max(0, num_tables - 1)
         if shape is GraphShape.CYCLE:
             return num_tables if num_tables >= 3 else max(0, num_tables - 1)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.query.catalog import Catalog
+from repro.query.catalog import (
+    CATALOG_FORMAT,
+    Catalog,
+    catalog_from_json_dict,
+    job_sample_catalog,
+    load_catalog,
+)
 
 
 @pytest.fixture
@@ -80,3 +86,107 @@ class TestQueryBuilding:
         assert query.table(1).name == "customers"
         assert query.table(0).index == 0
         assert query.table(1).index == 1
+
+
+class TestColumnStatistics:
+    def test_columns_and_join_key_distinct(self):
+        catalog = Catalog()
+        catalog.add_table("t", 1_000, columns={"id": 1_000, "group_id": 40})
+        assert dict(catalog.columns("t")) == {"id": 1_000.0, "group_id": 40.0}
+        assert catalog.join_key_distinct("t") == 1_000.0
+
+    def test_join_key_distinct_falls_back_to_cardinality(self):
+        catalog = Catalog()
+        catalog.add_table("t", 77)
+        assert catalog.columns("t") == ()
+        assert catalog.join_key_distinct("t") == 77.0
+
+    def test_invalid_distinct_count_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError, match="t.bad"):
+            catalog.add_table("t", 100, columns={"bad": 0})
+
+
+class TestJsonSchemaImport:
+    def _schema(self):
+        return {
+            "format": CATALOG_FORMAT,
+            "tables": [
+                {"name": "a", "cardinality": 100, "row_width": 50,
+                 "columns": {"id": 100, "b_id": 10}},
+                {"name": "b", "cardinality": 10},
+            ],
+        }
+
+    def test_round_trip(self, sample_catalog):
+        rebuilt = catalog_from_json_dict(sample_catalog.to_json_dict())
+        assert rebuilt.table_names() == sample_catalog.table_names()
+        for name in sample_catalog.table_names():
+            assert rebuilt.cardinality(name) == sample_catalog.cardinality(name)
+            assert rebuilt.row_width(name) == sample_catalog.row_width(name)
+            assert rebuilt.columns(name) == sample_catalog.columns(name)
+
+    def test_import_reads_all_statistics(self):
+        catalog = catalog_from_json_dict(self._schema())
+        assert catalog.table_names() == ["a", "b"]
+        assert catalog.cardinality("a") == 100.0
+        assert catalog.row_width("a") == 50.0
+        assert catalog.join_key_distinct("a") == 100.0
+        assert catalog.join_key_distinct("b") == 10.0
+
+    def test_wrong_format_rejected(self):
+        schema = self._schema()
+        schema["format"] = "something-else"
+        with pytest.raises(ValueError, match="format"):
+            catalog_from_json_dict(schema)
+
+    def test_missing_tables_rejected(self):
+        with pytest.raises(ValueError, match="tables"):
+            catalog_from_json_dict({"format": CATALOG_FORMAT, "tables": []})
+
+    def test_duplicate_table_rejected(self):
+        schema = self._schema()
+        schema["tables"].append({"name": "a", "cardinality": 5})
+        with pytest.raises(ValueError, match="'a'.*twice"):
+            catalog_from_json_dict(schema)
+
+    def test_corrupt_table_entry_names_table(self):
+        schema = self._schema()
+        schema["tables"][1]["cardinality"] = -3
+        with pytest.raises(ValueError, match="'b'"):
+            catalog_from_json_dict(schema)
+
+    def test_load_catalog_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(self._schema()))
+        catalog = load_catalog(str(path))
+        assert catalog.num_tables == 2
+
+    def test_load_invalid_json_names_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="broken.json"):
+            load_catalog(str(path))
+
+
+class TestBundledJobSample:
+    def test_loads_with_full_coverage(self):
+        catalog = job_sample_catalog()
+        assert catalog.num_tables == 12
+        assert catalog.has_table("title")
+        assert catalog.has_table("cast_info")
+        for name in catalog.table_names():
+            assert catalog.cardinality(name) >= 1
+            assert catalog.join_key_distinct(name) >= 1
+
+    def test_real_proportions_preserved(self):
+        catalog = job_sample_catalog()
+        # cast_info is the largest JOB table, kind_type the smallest.
+        assert catalog.cardinality("cast_info") == max(
+            catalog.cardinality(name) for name in catalog.table_names()
+        )
+        assert catalog.cardinality("kind_type") == min(
+            catalog.cardinality(name) for name in catalog.table_names()
+        )

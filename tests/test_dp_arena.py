@@ -25,7 +25,7 @@ from repro.baselines.dp import (
 from repro.cost.model import MultiObjectiveCostModel
 from repro.dist.cache import TaskCache
 from repro.plans.operators import OperatorLibrary
-from repro.query.generator import QueryGenerator
+from repro.query.generator import SHAPE_MIN_TABLES, QueryGenerator
 from repro.query.join_graph import GraphShape, JoinGraph
 from repro.query.query import Query
 from repro.query.table import Table
@@ -105,6 +105,7 @@ class TestEngineEquivalence:
     def test_random_queries_bit_identical(
         self, seed, num_tables, shape, alpha, tasks_per_step, library
     ):
+        num_tables = max(num_tables, SHAPE_MIN_TABLES[shape])
         model = _random_model(seed, num_tables, shape, library=library)
         reference = DPOptimizer(model, alpha=alpha, tasks_per_step=tasks_per_step)
         candidate = ArenaDPOptimizer(model, alpha=alpha, tasks_per_step=tasks_per_step)

@@ -4,8 +4,11 @@ import random
 
 import pytest
 
+from repro.query.catalog import job_sample_catalog
 from repro.query.generator import (
     CARDINALITY_STRATA,
+    SHAPE_MIN_TABLES,
+    CardinalityModel,
     GeneratorConfig,
     QueryGenerator,
     SelectivityModel,
@@ -111,3 +114,186 @@ class TestQueryGeneration:
             bound = 1.0 / max(query.cardinality(a), query.cardinality(b))
             assert selectivity >= bound - 1e-12
             assert selectivity <= 1.0
+
+
+class TestShapeMinimumValidation:
+    @pytest.mark.parametrize(
+        "shape,minimum",
+        [
+            (GraphShape.CHAIN, 1),
+            (GraphShape.STAR, 2),
+            (GraphShape.CLIQUE, 2),
+            (GraphShape.CYCLE, 3),
+            (GraphShape.SNOWFLAKE, 4),
+        ],
+    )
+    def test_boundary_accepted_below_rejected(self, shape, minimum):
+        generator = QueryGenerator(rng=random.Random(11))
+        query = generator.generate(minimum, shape)
+        assert query.num_tables == minimum
+        if minimum > 1:
+            with pytest.raises(ValueError, match=shape.value):
+                generator.generate(minimum - 1, shape)
+
+    def test_error_names_shape_and_minimum(self):
+        generator = QueryGenerator(rng=random.Random(11))
+        with pytest.raises(ValueError, match=r"snowflake .* at least 4 .* got 3"):
+            generator.generate(3, GraphShape.SNOWFLAKE)
+
+    def test_minimums_match_shape_table(self):
+        assert set(SHAPE_MIN_TABLES) == set(GraphShape)
+
+
+class TestZipfCardinalities:
+    @pytest.fixture
+    def zipf_generator(self):
+        return QueryGenerator(
+            rng=random.Random(13),
+            config=GeneratorConfig(cardinality_model=CardinalityModel.ZIPF),
+        )
+
+    def test_within_strata_bounds(self, zipf_generator):
+        for _ in range(300):
+            cardinality = zipf_generator.sample_cardinality()
+            assert any(low <= cardinality <= high for low, high in CARDINALITY_STRATA)
+
+    def test_skewed_towards_small_strata(self, zipf_generator):
+        samples = zipf_generator.sample_cardinalities(2_000)
+        first = sum(1 for v in samples if v <= CARDINALITY_STRATA[0][1])
+        last = sum(1 for v in samples if v >= CARDINALITY_STRATA[-1][0])
+        assert first > 2 * last
+
+    def test_higher_skew_concentrates_more(self):
+        def small_fraction(skew):
+            generator = QueryGenerator(
+                rng=random.Random(17),
+                config=GeneratorConfig(
+                    cardinality_model=CardinalityModel.ZIPF, zipf_skew=skew
+                ),
+            )
+            samples = generator.sample_cardinalities(2_000)
+            return sum(1 for v in samples if v <= CARDINALITY_STRATA[0][1])
+
+        assert small_fraction(3.0) > small_fraction(0.5)
+
+    def test_reproducible_from_seed(self):
+        config = GeneratorConfig(cardinality_model=CardinalityModel.ZIPF)
+        first = QueryGenerator(rng=random.Random(5), config=config)
+        second = QueryGenerator(rng=random.Random(5), config=config)
+        assert first.sample_cardinalities(50) == second.sample_cardinalities(50)
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(ValueError, match="zipf_skew"):
+            GeneratorConfig(zipf_skew=0.0)
+
+
+class TestCorrelatedSelectivities:
+    @pytest.fixture
+    def correlated_generator(self):
+        return QueryGenerator(
+            rng=random.Random(19),
+            config=GeneratorConfig(selectivity_model=SelectivityModel.CORRELATED),
+        )
+
+    def test_within_key_join_bounds(self, correlated_generator):
+        for _ in range(300):
+            card_a, card_b = 1_000.0, 50_000.0
+            selectivity = correlated_generator.sample_selectivity(card_a, card_b)
+            assert 1.0 / max(card_a, card_b) - 1e-15 <= selectivity <= 1.0
+
+    def test_lower_than_steinbrunn_on_average(self):
+        cards = (1_000.0, 50_000.0)
+
+        def mean_selectivity(model):
+            generator = QueryGenerator(
+                rng=random.Random(23),
+                config=GeneratorConfig(selectivity_model=model),
+            )
+            draws = [generator.sample_selectivity(*cards) for _ in range(500)]
+            return sum(draws) / len(draws)
+
+        assert mean_selectivity(SelectivityModel.CORRELATED) < mean_selectivity(
+            SelectivityModel.STEINBRUNN
+        )
+
+    def test_strength_one_pins_key_join(self):
+        generator = QueryGenerator(
+            rng=random.Random(29),
+            config=GeneratorConfig(
+                selectivity_model=SelectivityModel.CORRELATED,
+                correlation_strength=1.0,
+            ),
+        )
+        for _ in range(50):
+            assert generator.sample_selectivity(100.0, 400.0) == pytest.approx(
+                1.0 / 400.0
+            )
+
+    def test_reproducible_from_seed(self):
+        config = GeneratorConfig(selectivity_model=SelectivityModel.CORRELATED)
+
+        def draws(seed):
+            generator = QueryGenerator(rng=random.Random(seed), config=config)
+            return [generator.sample_selectivity(500.0, 2_000.0) for _ in range(50)]
+
+        assert draws(3) == draws(3)
+        assert draws(3) != draws(4)
+
+    def test_invalid_strength_rejected(self):
+        with pytest.raises(ValueError, match="correlation_strength"):
+            GeneratorConfig(correlation_strength=0.0)
+        with pytest.raises(ValueError, match="correlation_strength"):
+            GeneratorConfig(correlation_strength=1.5)
+
+    def test_query_edges_respect_bounds(self, correlated_generator):
+        query = correlated_generator.generate(10, GraphShape.CHAIN)
+        for a, b, selectivity in query.join_graph.edges():
+            bound = 1.0 / max(query.cardinality(a), query.cardinality(b))
+            assert bound - 1e-15 <= selectivity <= 1.0
+
+
+class TestCatalogBackedGeneration:
+    @pytest.fixture
+    def catalog_generator(self):
+        return QueryGenerator(
+            rng=random.Random(31),
+            config=GeneratorConfig(catalog=job_sample_catalog()),
+        )
+
+    def test_tables_come_from_catalog(self, catalog_generator):
+        catalog = job_sample_catalog()
+        query = catalog_generator.generate(5, GraphShape.STAR)
+        for table in query.tables:
+            assert catalog.has_table(table.name)
+            assert table.cardinality == catalog.cardinality(table.name)
+            assert table.row_width == catalog.row_width(table.name)
+
+    def test_table_names_distinct(self, catalog_generator):
+        query = catalog_generator.generate(8, GraphShape.CHAIN)
+        names = [table.name for table in query.tables]
+        assert len(set(names)) == len(names)
+
+    def test_selectivities_use_join_key_distinct(self, catalog_generator):
+        catalog = job_sample_catalog()
+        query = catalog_generator.generate(6, GraphShape.SNOWFLAKE)
+        for a, b, selectivity in query.join_graph.edges():
+            expected = 1.0 / max(
+                catalog.join_key_distinct(query.tables[a].name),
+                catalog.join_key_distinct(query.tables[b].name),
+            )
+            assert selectivity == pytest.approx(expected)
+
+    def test_reproducible_from_seed(self):
+        config = GeneratorConfig(catalog=job_sample_catalog())
+        first = QueryGenerator(rng=random.Random(37), config=config).generate(
+            5, GraphShape.CYCLE
+        )
+        second = QueryGenerator(rng=random.Random(37), config=config).generate(
+            5, GraphShape.CYCLE
+        )
+        assert [t.name for t in first.tables] == [t.name for t in second.tables]
+        assert list(first.join_graph.edges()) == list(second.join_graph.edges())
+
+    def test_oversized_draw_rejected(self, catalog_generator):
+        with pytest.raises(ValueError, match="catalog holds"):
+            catalog_generator.generate(13, GraphShape.CHAIN)

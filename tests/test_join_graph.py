@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.query.join_graph import GraphShape, JoinGraph
+from repro.query.join_graph import (
+    GraphShape,
+    JoinGraph,
+    snowflake_arm_lengths,
+    snowflake_edges,
+)
 
 
 class TestEdgeManagement:
@@ -142,3 +147,50 @@ class TestBuilders:
         assert JoinGraph.edge_count_for_shape(GraphShape.CYCLE, 10) == 10
         assert JoinGraph.edge_count_for_shape(GraphShape.STAR, 10) == 9
         assert JoinGraph.edge_count_for_shape(GraphShape.CLIQUE, 10) == 45
+
+
+class TestSnowflake:
+    def test_arm_lengths_partition_spokes(self):
+        for num_tables in range(4, 40):
+            lengths = snowflake_arm_lengths(num_tables)
+            assert sum(lengths) == num_tables - 1
+            assert max(lengths) - min(lengths) <= 1
+            assert lengths == sorted(lengths, reverse=True)
+
+    def test_arm_lengths_examples(self):
+        assert snowflake_arm_lengths(4) == [2, 1]
+        assert snowflake_arm_lengths(5) == [2, 2]
+        assert snowflake_arm_lengths(10) == [3, 3, 3]
+
+    def test_edges_cover_all_tables_once(self):
+        for num_tables in (4, 7, 10, 13):
+            edges = snowflake_edges(num_tables)
+            assert len(edges) == num_tables - 1
+            non_hub = [t for edge in edges for t in edge if t != 0]
+            assert sorted(set(non_hub)) == list(range(1, num_tables))
+
+    def test_hub_degree_is_arm_count(self):
+        for num_tables in (4, 9, 12):
+            edges = snowflake_edges(num_tables)
+            hub_degree = sum(1 for a, b in edges if a == 0 or b == 0)
+            assert hub_degree == len(snowflake_arm_lengths(num_tables))
+
+    def test_builder_matches_edge_helper(self):
+        num_tables = 8
+        selectivities = [0.1 * (i + 1) / 10 for i in range(num_tables - 1)]
+        graph = JoinGraph.snowflake(num_tables, selectivities)
+        for (a, b), selectivity in zip(snowflake_edges(num_tables), selectivities):
+            assert graph.edge_selectivity(a, b) == selectivity
+
+    def test_snowflake_is_connected(self):
+        graph = JoinGraph.snowflake(10, [0.5] * 9)
+        assert graph.is_connected_subset(range(10))
+
+    def test_wrong_selectivity_count_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph.snowflake(6, [0.1, 0.2])
+
+    def test_from_shape_and_edge_count(self):
+        assert JoinGraph.edge_count_for_shape(GraphShape.SNOWFLAKE, 10) == 9
+        graph = JoinGraph.from_shape(GraphShape.SNOWFLAKE, 6, [0.2] * 5)
+        assert graph.num_edges == 5

@@ -22,7 +22,7 @@ from repro.pareto.epsilon import approximation_error, is_alpha_approximation
 from repro.pareto.frontier import ParetoFrontier, pareto_filter
 from repro.pareto.hypervolume import hypervolume
 from repro.plans.validation import validate_plan
-from repro.query.generator import QueryGenerator
+from repro.query.generator import SHAPE_MIN_TABLES, QueryGenerator
 from repro.query.join_graph import GraphShape
 
 # ---------------------------------------------------------------------------
@@ -163,6 +163,7 @@ class TestPlanProperties:
     )
     @settings(max_examples=25, deadline=None)
     def test_random_plans_are_valid_and_costs_well_formed(self, seed, num_tables, shape):
+        num_tables = max(num_tables, SHAPE_MIN_TABLES[shape])
         rng = random.Random(seed)
         query = QueryGenerator(rng=rng).generate(num_tables, shape)
         model = MultiObjectiveCostModel(query, metrics=("time", "buffer", "disk"))

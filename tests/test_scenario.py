@@ -5,7 +5,8 @@ import pytest
 from repro.baselines import available_algorithms
 from repro.bench import figures
 from repro.bench.scenario import ScenarioScale, ScenarioSpec
-from repro.query.generator import SelectivityModel
+from repro.query.catalog import job_sample_catalog
+from repro.query.generator import CardinalityModel, SelectivityModel
 from repro.query.join_graph import GraphShape
 
 
@@ -108,6 +109,31 @@ class TestScenarioSpecValidation:
     def test_json_round_trip(self):
         spec = _minimal_spec(step_checkpoints=(2, 4), granularity="case")
         assert ScenarioSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_from_json_defaults_for_pre_zoo_payloads(self):
+        # Payloads written before the workload-zoo PR carry neither the
+        # cardinality model nor a catalog; they must load unchanged.
+        data = _minimal_spec().to_json_dict()
+        del data["cardinality_model"]
+        del data["catalog_json"]
+        spec = ScenarioSpec.from_json_dict(data)
+        assert spec.cardinality_model is CardinalityModel.UNIFORM
+        assert spec.catalog_json is None
+
+    def test_workload_zoo_fields_round_trip(self):
+        import json
+
+        catalog_json = json.dumps(job_sample_catalog().to_json_dict())
+        spec = _minimal_spec(
+            cardinality_model=CardinalityModel.ZIPF, catalog_json=catalog_json
+        )
+        assert ScenarioSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_invalid_catalog_json_rejected(self):
+        with pytest.raises(ValueError, match="catalog_json"):
+            _minimal_spec(catalog_json="{not json")
+        with pytest.raises(ValueError, match="catalog_json"):
+            _minimal_spec(catalog_json="[1, 2]")
 
     def test_with_scale_overrides(self):
         spec = _minimal_spec()
