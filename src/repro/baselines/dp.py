@@ -60,6 +60,7 @@ from repro.core.interface import AnytimeOptimizer
 from repro.core.plan_cache import ArenaPlanCache, PlanCache
 from repro.cost.batch import BatchCostModel
 from repro.cost.model import MultiObjectiveCostModel
+from repro.obs import get_tracer, global_metrics
 from repro.plans.arena import resolve_plan_engine
 from repro.plans.operators import JoinOperator
 from repro.plans.plan import Plan
@@ -538,14 +539,22 @@ class ArenaDPOptimizer(AnytimeOptimizer):
                 inner_handles = cache.handles(sets[bits ^ left_bits])
                 pairs.append((outer_handles, inner_handles))
                 rows.append((rel, outer_handles, inner_handles))
-        batches = self._batch_model.join_candidates_multi(pairs)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("dp.kernel", splits=len(pairs)):
+                batches = self._batch_model.join_candidates_multi(pairs)
+        else:
+            batches = self._batch_model.join_candidates_multi(pairs)
         level_alpha = self._level_alpha
         statistics = self.statistics
+        candidates = 0
         for (rel, outer_handles, inner_handles), batch in zip(rows, batches):
             statistics.plans_built += batch.size
+            candidates += batch.size
             cache.insert_candidates(
                 rel, batch, outer_handles, inner_handles, level_alpha
             )
+        global_metrics().add("dp.candidates", candidates)
 
     def _replay_chunk(
         self, chunk: List[Tuple[int, FrozenSet[int], List[int], int]]
@@ -562,12 +571,14 @@ class ArenaDPOptimizer(AnytimeOptimizer):
         sets = self._sets
         arena = self._batch_model.arena
         statistics = self.statistics
+        replayed = 0
         for bits, rel, lefts, offset in chunk:
             subset_effects = self._level_effects[bits]
             runs: List[Tuple[np.ndarray, List[int], List[int]]] = []
             for position, left_bits in enumerate(lefts):
                 candidate_count, records = subset_effects.split(offset + position)
                 statistics.plans_built += candidate_count
+                replayed += candidate_count
                 if records.shape[0]:
                     runs.append((
                         records,
@@ -604,9 +615,23 @@ class ArenaDPOptimizer(AnytimeOptimizer):
                 arena.format_codes_of_ops(all_records["op"]),
                 all_records["cost"],
             )
+        global_metrics().add("dp.candidates", replayed)
 
     def _compute_level(self, level: int) -> None:
         """Compute a whole level's split decisions through the coordinator."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "dp.level", tables=level, backend=self._backend
+            ):
+                self._compute_level_inner(level)
+        else:
+            self._compute_level_inner(level)
+        # Cached frontier size when the level's decisions came back (its
+        # replay still pending): one gauge write per level.
+        global_metrics().gauge("frontier.rows", self._cache.total_plans)
+
+    def _compute_level_inner(self, level: int) -> None:
         from repro.dist.dp import compute_dp_level  # local: avoids an import cycle
 
         subsets = list(combinations(self._tables, level))

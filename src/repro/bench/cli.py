@@ -26,6 +26,20 @@ Usage::
     python -m repro.bench.cli regress check
     python -m repro.bench.cli regress record   # re-pin after intended changes
 
+    # Traced run: Chrome trace_event JSON (chrome://tracing / Perfetto)
+    # plus a metrics report for one figure run:
+    python -m repro.bench.cli trace figure1 --scale smoke --steps \\
+        --trace-out trace.json --metrics-out metrics.json
+
+    # Live dashboard over a coordinator run publishing metrics snapshots
+    # (REPRO_METRICS_OUT=/tmp/m.json in the run's environment):
+    python -m repro.bench.cli top --file /tmp/m.json
+
+Every subcommand honors ``REPRO_TRACE=1`` (enable tracing) together with
+``REPRO_TRACE_OUT`` / ``REPRO_METRICS_OUT`` (write the trace and a final
+metrics snapshot on exit), so existing invocations gain tracing without
+flag changes.
+
 Prints the same text report as the pytest benchmark targets; useful when
 iterating on one figure without the pytest-benchmark machinery.  With
 ``--steps``, a two-shard ``merge`` — and a ``coordinate`` run with any
@@ -341,6 +355,187 @@ def _run_regress(argv: Sequence[str]) -> str:
     return report
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``trace`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli trace",
+        description=(
+            "Run one figure with tracing enabled and export a Chrome "
+            "trace_event JSON file (chrome://tracing, Perfetto) plus a "
+            "plain-text metrics report."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(figures.FIGURE_SPECS),
+        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha, zoo)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ScenarioScale],
+        default=ScenarioScale.SMOKE.value,
+        help="experiment scale (default: smoke — traces grow with work done)",
+    )
+    parser.add_argument(
+        "--steps", action="store_true", help="run the step-driven figure variant"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario base seed"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker count override"
+    )
+    parser.add_argument(
+        "--granularity",
+        choices=["cell", "case", "auto"],
+        default=None,
+        help="dispatch granularity override",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["local", "coordinator"],
+        default=None,
+        help="execution backend override",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, help="task-result cache directory"
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="Chrome trace JSON output path (default: <figure>_trace.json)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="also write the final metrics snapshot (JSON) to this path",
+    )
+    return parser
+
+
+def _run_trace(argv: Sequence[str]) -> str:
+    from repro.obs import (
+        disable_tracing,
+        enable_tracing,
+        global_metrics,
+        render_metrics_report,
+        reset_global_metrics,
+        write_chrome_trace,
+        write_metrics_snapshot,
+    )
+
+    args = build_trace_parser().parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    spec = _resolve_figure_spec(args)
+    if args.workers is not None:
+        spec = dataclasses.replace(spec, workers=args.workers)
+    if args.granularity is not None:
+        spec = dataclasses.replace(spec, granularity=args.granularity)
+    if args.backend is not None:
+        spec = dataclasses.replace(spec, backend=args.backend)
+    cache = None
+    if args.cache_dir is not None:
+        from repro.dist.cache import TaskCache
+
+        cache = TaskCache(args.cache_dir)
+
+    reset_global_metrics()
+    tracer = enable_tracing()
+    try:
+        result = run_scenario(spec, cache=cache)
+    finally:
+        disable_tracing()
+    trace_path = args.trace_out or f"{spec.name}_trace.json"
+    events = write_chrome_trace(tracer, trace_path)
+    snapshot = global_metrics().snapshot()
+    lines = [
+        format_scenario_report(result) + "\n" + summarize_winners(result),
+        f"[trace: {events} event(s) written to {trace_path}]",
+    ]
+    if args.metrics_out is not None:
+        write_metrics_snapshot(args.metrics_out, snapshot)
+        lines.append(f"[metrics snapshot written to {args.metrics_out}]")
+    lines.append(render_metrics_report(snapshot))
+    return "\n".join(lines)
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``top`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli top",
+        description=(
+            "Live text dashboard over coordinator metrics: tails a snapshot "
+            "file published by a run with REPRO_METRICS_OUT set (or any "
+            "metrics snapshot JSON) and redraws a compact summary."
+        ),
+    )
+    parser.add_argument(
+        "--file",
+        type=str,
+        default=None,
+        help="metrics snapshot file to tail (default: $REPRO_METRICS_OUT)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between redraws"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many redraws (default: run until interrupted)",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render the current snapshot and exit"
+    )
+    return parser
+
+
+def _run_top(argv: Sequence[str]) -> str:
+    import os
+
+    from repro.obs import METRICS_OUT_ENV_VAR, tail_dashboard
+
+    args = build_top_parser().parse_args(argv)
+    path = args.file or os.environ.get(METRICS_OUT_ENV_VAR)
+    if not path:
+        raise SystemExit("top: pass --file or set REPRO_METRICS_OUT")
+    if args.interval <= 0:
+        raise SystemExit("--interval must be positive")
+    iterations = 1 if args.once else args.iterations
+    drawn = tail_dashboard(path, interval=args.interval, iterations=iterations)
+    return f"[top: {drawn} snapshot(s) rendered from {path}]"
+
+
+def _flush_env_outputs() -> None:
+    """Honor ``REPRO_TRACE_OUT`` / ``REPRO_METRICS_OUT`` on CLI exit.
+
+    With the ``REPRO_TRACE=1`` gate active, any figure subcommand writes
+    its trace (and a final metrics snapshot) to the paths named by the
+    environment — the flagless twin of ``repro trace``.
+    """
+    import os
+
+    from repro.obs import (
+        METRICS_OUT_ENV_VAR,
+        TRACE_OUT_ENV_VAR,
+        get_tracer,
+        global_metrics,
+        write_chrome_trace,
+        write_metrics_snapshot,
+    )
+
+    trace_path = os.environ.get(TRACE_OUT_ENV_VAR)
+    tracer = get_tracer()
+    if trace_path and tracer.enabled:
+        write_chrome_trace(tracer, trace_path)
+    metrics_path = os.environ.get(METRICS_OUT_ENV_VAR)
+    if metrics_path:
+        write_metrics_snapshot(metrics_path, global_metrics().snapshot())
+
+
 def _cache_cap_bytes(args: argparse.Namespace) -> int | None:
     """Translate ``--cache-max-mb`` into bytes (``None``: append-only)."""
     max_mb = getattr(args, "cache_max_mb", None)
@@ -469,8 +664,23 @@ def _parse_shard(value: str) -> Tuple[int, int]:
 
 
 def run(argv: Sequence[str] | None = None) -> str:
-    """Run the selected figure (or merge shards) and return the text report."""
-    argv = list(sys.argv[1:] if argv is None else argv)
+    """Run the selected subcommand and return the text report.
+
+    Honors the ``REPRO_TRACE=1`` environment gate on every subcommand (see
+    :func:`repro.obs.configure_from_env`); traces and final metrics
+    snapshots flush to ``REPRO_TRACE_OUT`` / ``REPRO_METRICS_OUT`` on exit.
+    """
+    from repro.obs import configure_from_env
+
+    configure_from_env()
+    try:
+        return _run_dispatch(list(sys.argv[1:] if argv is None else argv))
+    finally:
+        _flush_env_outputs()
+
+
+def _run_dispatch(argv: list) -> str:
+    """Run the selected figure (or subcommand) and return the text report."""
     if argv and argv[0] == "merge":
         merge_args = build_merge_parser().parse_args(argv[1:])
         result = merge_shards(merge_args.shards)
@@ -481,6 +691,10 @@ def run(argv: Sequence[str] | None = None) -> str:
         return _run_work(argv[1:])
     if argv and argv[0] == "regress":
         return _run_regress(argv[1:])
+    if argv and argv[0] == "trace":
+        return _run_trace(argv[1:])
+    if argv and argv[0] == "top":
+        return _run_top(argv[1:])
 
     args = build_parser().parse_args(argv)
     scale = ScenarioScale(args.scale)

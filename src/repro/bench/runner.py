@@ -50,6 +50,7 @@ from repro.bench.tasks import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.dist.cache import TaskCache
+from repro.obs import get_tracer, global_metrics
 from repro.pareto.epsilon import approximation_error
 from repro.query.join_graph import GraphShape
 
@@ -168,33 +169,56 @@ def run_scenario(
         raise ValueError(
             f"backend must be 'local' or 'coordinator', got {effective_backend!r}"
         )
+    # Phase spans cost one NULL_SPAN call each when tracing is off; with
+    # REPRO_TRACE=1 they give the trace its top-level schedule → execute →
+    # reduce breakdown.
+    tracer = get_tracer()
     if effective_backend == "coordinator":
         from repro.dist.worker import run_coordinated
 
-        coordinator = run_coordinated(
-            spec,
-            workers=effective_workers,
-            granularity=effective_granularity,
-            cache=cache,
-        )
-        results = coordinator.results()
-        return ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
-    tasks = schedule_tasks(spec)
-    if cache is None:
-        results = execute_tasks(
-            spec, tasks, workers=effective_workers, granularity=effective_granularity
-        )
-    else:
-        cached, pending = cache.partition(spec, tasks)
-        executed = execute_tasks(
-            spec, pending, workers=effective_workers, granularity=effective_granularity
-        )
-        for result in executed:
-            if task_is_deterministic(spec, result.task):
-                cache.put(spec, result)
-            cached[result.task] = result
-        results = [cached[task] for task in tasks]
-    return ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
+        with tracer.span(
+            "scenario.execute", backend="coordinator", workers=effective_workers
+        ):
+            coordinator = run_coordinated(
+                spec,
+                workers=effective_workers,
+                granularity=effective_granularity,
+                cache=cache,
+            )
+            results = coordinator.results()
+        with tracer.span("scenario.reduce", tasks=len(results)):
+            cells = reduce_task_results(spec, results)
+        global_metrics().add("scenario.runs")
+        return ScenarioResult(spec=spec, cells=cells)
+    with tracer.span("scenario.schedule"):
+        tasks = schedule_tasks(spec)
+    with tracer.span(
+        "scenario.execute", backend="local", workers=effective_workers
+    ):
+        if cache is None:
+            results = execute_tasks(
+                spec,
+                tasks,
+                workers=effective_workers,
+                granularity=effective_granularity,
+            )
+        else:
+            cached, pending = cache.partition(spec, tasks)
+            executed = execute_tasks(
+                spec,
+                pending,
+                workers=effective_workers,
+                granularity=effective_granularity,
+            )
+            for result in executed:
+                if task_is_deterministic(spec, result.task):
+                    cache.put(spec, result)
+                cached[result.task] = result
+            results = [cached[task] for task in tasks]
+    with tracer.span("scenario.reduce", tasks=len(results)):
+        cells = reduce_task_results(spec, results)
+    global_metrics().add("scenario.runs")
+    return ScenarioResult(spec=spec, cells=cells)
 
 
 def merge_shards(paths: Sequence[str]) -> ScenarioResult:

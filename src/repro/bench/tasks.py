@@ -529,6 +529,28 @@ def _execute_task_group(spec: ScenarioSpec, tasks: Sequence[TaskSpec]) -> List[T
     return results
 
 
+def _execute_task_group_metered(
+    spec: ScenarioSpec, tasks: Sequence[TaskSpec]
+) -> Tuple[List[TaskResult], dict]:
+    """Pool entry point: execute a group and return ``(results, metrics)``.
+
+    The metered twin of :func:`_execute_task_group` for **process-pool**
+    dispatch: it resets the worker process's global
+    :class:`~repro.obs.metrics.Metrics` registry, executes the group, and
+    ships the resulting snapshot back alongside the results so the driver
+    can fold per-worker counters into its own totals
+    (:meth:`~repro.obs.metrics.Metrics.merge_snapshot` is
+    order-independent, so the fold is deterministic regardless of which
+    lease lands first).  Must only run across a process boundary — the
+    reset would clobber the driver's registry in-process.
+    """
+    from repro.obs import reset_global_metrics
+
+    metrics = reset_global_metrics()
+    results = _execute_task_group(spec, tasks)
+    return results, metrics.snapshot()
+
+
 def _group_by_cell(tasks: Sequence[TaskSpec]) -> List[List[TaskSpec]]:
     """Group tasks by grid cell, preserving schedule order."""
     groups: Dict[Tuple[GraphShape, int], List[TaskSpec]] = {}

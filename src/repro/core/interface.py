@@ -42,24 +42,81 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.cost.model import MultiObjectiveCostModel
+from repro.obs.metrics import Metrics
 from repro.plans.plan import Plan
 from repro.query.query import Query
 
 
-@dataclass
 class OptimizerStatistics:
-    """Counters every optimizer maintains for reporting and tests."""
+    """Counters every optimizer maintains for reporting and tests.
 
-    #: Number of calls to ``step()`` so far.
-    steps: int = 0
-    #: Total number of plan nodes constructed (scans + joins) so far.
-    plans_built: int = 0
-    #: Algorithm-specific extra counters (e.g. climb path lengths for RMQ).
-    extra: Dict[str, float] = field(default_factory=dict)
+    Historically a plain dataclass of ints; since the observability
+    consolidation the counters live in a
+    :class:`~repro.obs.metrics.Metrics` registry (``optimizer.steps`` /
+    ``optimizer.plans_built``) while this class stays a **thin view**:
+    ``statistics.steps += 1`` and friends behave exactly as before, every
+    existing caller and test unchanged.  Each statistics object owns a
+    private registry by default, so per-optimizer counts stay exact; pass
+    ``metrics`` to back several optimizers onto one shared registry.
+    """
+
+    __slots__ = ("_metrics", "extra")
+
+    def __init__(
+        self,
+        steps: int = 0,
+        plans_built: int = 0,
+        extra: Optional[Dict[str, float]] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self._metrics = metrics if metrics is not None else Metrics()
+        if steps:
+            self._metrics.set_counter("optimizer.steps", int(steps))
+        if plans_built:
+            self._metrics.set_counter("optimizer.plans_built", int(plans_built))
+        #: Algorithm-specific extra counters (e.g. climb path lengths for RMQ).
+        self.extra: Dict[str, float] = dict(extra) if extra else {}
+
+    @property
+    def steps(self) -> int:
+        """Number of calls to ``step()`` so far."""
+        return self._metrics.counter("optimizer.steps")
+
+    @steps.setter
+    def steps(self, value: int) -> None:
+        self._metrics.set_counter("optimizer.steps", int(value))
+
+    @property
+    def plans_built(self) -> int:
+        """Total number of plan nodes constructed (scans + joins) so far."""
+        return self._metrics.counter("optimizer.plans_built")
+
+    @plans_built.setter
+    def plans_built(self, value: int) -> None:
+        self._metrics.set_counter("optimizer.plans_built", int(value))
+
+    @property
+    def metrics(self) -> Metrics:
+        """The backing registry (``optimizer.*`` counter names)."""
+        return self._metrics
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OptimizerStatistics):
+            return NotImplemented
+        return (
+            self.steps == other.steps
+            and self.plans_built == other.plans_built
+            and self.extra == other.extra
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OptimizerStatistics(steps={self.steps}, "
+            f"plans_built={self.plans_built}, extra={self.extra!r})"
+        )
 
 
 class AnytimeOptimizer(ABC):

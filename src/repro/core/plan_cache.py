@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Sequence, Tup
 
 import numpy as np
 
+from repro.obs import global_metrics
 from repro.pareto.dominance import approx_dominates, dominates
 from repro.pareto.engine import (
     ParetoSet,
@@ -108,8 +109,14 @@ class PlanCache:
         accepted, evicted = costs.insert(
             plan.cost, alpha=alpha, tag=self._format_tag(plan.output_format)
         )
+        metrics = global_metrics()
+        metrics.add("frontier.candidates")
         if not accepted:
+            metrics.add("frontier.rejected")
             return False
+        metrics.add("frontier.accepted")
+        if evicted:
+            metrics.add("frontier.evicted", len(evicted))
         if evicted:
             removed = set(evicted)
             entry = (
@@ -286,9 +293,17 @@ class ArenaPlanCache:
         entry = self._entry(self._arena.rel(handle))
         tag = self._arena.format_code(handle)
         row = np.asarray(self._arena.cost(handle), dtype=np.float64)
+        metrics = global_metrics()
+        metrics.add("frontier.candidates")
         if self._covered(entry, tag, row, alpha):
+            metrics.add("frontier.rejected")
             return False
+        before = len(entry.handles)
         self._append_row(entry, handle, tag, row)
+        metrics.add("frontier.accepted")
+        evicted = before + 1 - len(entry.handles)
+        if evicted:
+            metrics.add("frontier.evicted", evicted)
         return True
 
     def insert_all(self, plan_handles: Iterable[int], alpha: float = 1.0) -> int:
@@ -319,7 +334,19 @@ class ArenaPlanCache:
         def realize(position: int) -> int:
             return model.realize_candidate(batch, position, outer_handles, inner_handles)
 
+        before = len(entry.handles)
         accepted_count, _ = _insert_batch(entry, batch, alpha, realize)
+        # One registry update per batch: counter increments per candidate row
+        # would dominate the kernel work at large batch sizes.
+        metrics = global_metrics()
+        metrics.add("frontier.candidates", batch.size)
+        if accepted_count:
+            metrics.add("frontier.accepted", accepted_count)
+        if accepted_count != batch.size:
+            metrics.add("frontier.rejected", batch.size - accepted_count)
+        evicted = before + accepted_count - len(entry.handles)
+        if evicted:
+            metrics.add("frontier.evicted", evicted)
         return accepted_count
 
     def replay_accept(

@@ -16,7 +16,10 @@ change results.  :meth:`TaskCache.put` enforces this.
 Entries live under ``<root>/<hh>/<hash>.json`` (two-level fan-out keeps
 directories small).  Writes are atomic (temp file + ``os.replace``), so
 concurrent workers sharing a cache directory can only ever observe complete
-entries; corrupted or foreign files are treated as misses.
+entries; corrupted or foreign files are treated as misses — but no longer
+*silent* ones: each corrupt entry increments ``cache.corrupt_entries``,
+logs a structured warning, and emits a ``cache.corrupt_entry`` trace event
+(see :mod:`repro.obs`).
 
 The cache is **append-only by default**.  ``max_bytes`` turns on a
 size-capped LRU policy: every hit refreshes its entry's mtime, and a write
@@ -29,6 +32,7 @@ stays safe.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -40,6 +44,14 @@ from repro.bench.tasks import (
     task_is_deterministic,
     task_provenance_hash,
 )
+from repro.obs import get_tracer
+from repro.obs.metrics import Metrics
+
+logger = logging.getLogger(__name__)
+
+#: Legacy names of the cache counters, exposed verbatim by
+#: :attr:`TaskCache.stats`; each is metric ``cache.<name>``.
+_STAT_KEYS = ("hits", "misses", "stores", "evictions")
 
 #: Version tag of the cache entry file format.
 CACHE_ENTRY_FORMAT = "repro-task-cache-v1"
@@ -112,9 +124,19 @@ class TaskCache:
         append-only; a positive value enables LRU eviction: hits refresh
         recency, and writes evict least-recently-used entries until the
         cache fits the cap.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.Metrics` registry the
+        ``cache.*`` counters are mirrored into (for live dashboards).
+        The cache always keeps a private registry; the legacy
+        :attr:`stats` view reads that one.
     """
 
-    def __init__(self, root: str, max_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        root: str,
+        max_bytes: int | None = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self._root = os.fspath(root)
@@ -124,9 +146,45 @@ class TaskCache:
         # crosses the cap (concurrent workers make any local count drift,
         # so eviction always re-scans before unlinking anything).
         self._approx_bytes: int | None = None
-        self._stats: Dict[str, int] = {
-            "hits": 0, "misses": 0, "stores": 0, "evictions": 0,
-        }
+        self._metrics = Metrics()
+        self._shared_metrics = metrics
+
+    def _count(self, key: str, value: int = 1) -> None:
+        """Bump counter ``cache.<key>`` (private + shared registries)."""
+        self._metrics.add(f"cache.{key}", value)
+        if self._shared_metrics is not None:
+            self._shared_metrics.add(f"cache.{key}", value)
+
+    def _count_written(self, path: str) -> None:
+        """Account the on-disk size of a freshly written entry."""
+        try:
+            self._count("bytes_written", os.path.getsize(path))
+        except OSError:  # evicted concurrently
+            pass
+
+    def _note_corrupt(self, key: str, path: str, error: Exception) -> None:
+        """Record a corrupt entry: metric + structured warning + event.
+
+        Corruption (an entry that exists but is unreadable, foreign, or
+        stale) still degrades to a miss — throughput, never correctness —
+        but is no longer silent: it increments ``cache.corrupt_entries``,
+        logs a warning, and emits a ``cache.corrupt_entry`` trace event.
+        """
+        self._count("corrupt_entries")
+        logger.warning(
+            "task cache: corrupt entry %s (%s: %s); treating as a miss",
+            path,
+            type(error).__name__,
+            error,
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "cache.corrupt_entry",
+                key=key,
+                path=path,
+                error=f"{type(error).__name__}: {error}",
+            )
 
     @property
     def root(self) -> str:
@@ -140,8 +198,22 @@ class TaskCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/store/eviction counters of this cache instance (a copy)."""
-        return dict(self._stats)
+        """Hit/miss/store/eviction counters, legacy dict shape (thin view).
+
+        Counters live in a :class:`~repro.obs.metrics.Metrics` registry
+        (see :attr:`metrics`) since the observability consolidation; this
+        property rebuilds the historical four-key dict from it.
+        """
+        return {key: self._metrics.counter(f"cache.{key}") for key in _STAT_KEYS}
+
+    @property
+    def metrics(self) -> Metrics:
+        """This cache's private metrics registry (``cache.*`` names).
+
+        Beyond the legacy four, it carries ``cache.corrupt_entries`` and
+        the ``cache.bytes_read`` / ``cache.bytes_written`` volumes.
+        """
+        return self._metrics
 
     def _entry_path(self, key: str) -> str:
         return os.path.join(self._root, key[:2], f"{key}.json")
@@ -157,23 +229,33 @@ class TaskCache:
         degrade throughput, never correctness.
         """
         if not task_is_deterministic(spec, task):
-            self._stats["misses"] += 1
+            self._count("misses")
             return None
         key = task_provenance_hash(spec, task)
+        path = self._entry_path(key)
         try:
-            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            # Absent (or unreadable) entry: an ordinary miss.
+            self._count("misses")
+            return None
+        try:
+            payload = json.loads(text)
             if payload.get("format") != CACHE_ENTRY_FORMAT or payload.get("key") != key:
                 raise ValueError("foreign or stale cache entry")
             result = TaskResult.from_json_dict(payload["result"])
             if result.task != task:
                 raise ValueError("cache entry stores a different task")
-        except (OSError, ValueError, KeyError, TypeError):
-            self._stats["misses"] += 1
+        except (ValueError, KeyError, TypeError) as error:
+            # The entry exists but cannot be trusted: a *corrupt* miss.
+            self._note_corrupt(key, path, error)
+            self._count("misses")
             return None
-        self._stats["hits"] += 1
+        self._count("hits")
+        self._count("bytes_read", len(text))
         if self._max_bytes is not None:
-            self._touch(self._entry_path(key))
+            self._touch(path)
         return result
 
     @staticmethod
@@ -239,7 +321,8 @@ class TaskCache:
                 "result": result.to_json_dict(),
             },
         )
-        self._stats["stores"] += 1
+        self._count("stores")
+        self._count_written(path)
         if self._max_bytes is not None:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
@@ -264,18 +347,26 @@ class TaskCache:
         entries but carry their own format tag, so neither API can misread
         the other's files.
         """
+        path = self._entry_path(key)
         try:
-            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            self._count("misses")
+            return None
+        try:
+            entry = json.loads(text)
             if entry.get("format") != CACHE_RAW_FORMAT or entry.get("key") != key:
                 raise ValueError("foreign or stale cache entry")
             payload = entry["payload"]
-        except (OSError, ValueError, KeyError, TypeError):
-            self._stats["misses"] += 1
+        except (ValueError, KeyError, TypeError) as error:
+            self._note_corrupt(key, path, error)
+            self._count("misses")
             return None
-        self._stats["hits"] += 1
+        self._count("hits")
+        self._count("bytes_read", len(text))
         if self._max_bytes is not None:
-            self._touch(self._entry_path(key))
+            self._touch(path)
         return payload
 
     def put_raw(self, key: str, payload: dict) -> str:
@@ -299,7 +390,8 @@ class TaskCache:
             path,
             {"format": CACHE_RAW_FORMAT, "key": key, "payload": payload},
         )
-        self._stats["stores"] += 1
+        self._count("stores")
+        self._count_written(path)
         if self._max_bytes is not None:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
@@ -329,12 +421,17 @@ class TaskCache:
         try:
             with open(path, "rb") as handle:
                 data = handle.read()
-            if not data.startswith(prefix):
-                raise ValueError("foreign or stale cache entry")
-        except (OSError, ValueError):
-            self._stats["misses"] += 1
+        except OSError:
+            self._count("misses")
             return None
-        self._stats["hits"] += 1
+        if not data.startswith(prefix):
+            self._note_corrupt(
+                key, path, ValueError("foreign or stale cache entry")
+            )
+            self._count("misses")
+            return None
+        self._count("hits")
+        self._count("bytes_read", len(data))
         if self._max_bytes is not None:
             self._touch(path)
         return data[len(prefix):]
@@ -359,7 +456,8 @@ class TaskCache:
             pass
         os.makedirs(os.path.dirname(path), exist_ok=True)
         write_bytes_atomic(path, prefix + payload)
-        self._stats["stores"] += 1
+        self._count("stores")
+        self._count("bytes_written", len(prefix) + len(payload))
         if self._max_bytes is not None:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
@@ -419,7 +517,7 @@ class TaskCache:
             except OSError:
                 continue
             total -= size
-            self._stats["evictions"] += 1
+            self._count("evictions")
         self._approx_bytes = total
 
     def __len__(self) -> int:

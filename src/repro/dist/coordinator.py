@@ -56,6 +56,22 @@ from repro.bench.tasks import (
     task_is_deterministic,
 )
 from repro.dist.cache import TaskCache
+from repro.obs import get_tracer
+from repro.obs.metrics import Metrics
+
+#: Legacy names of the lifecycle counters, exposed verbatim by
+#: :attr:`Coordinator.stats`; each is metric ``coordinator.<name>``.
+_STAT_KEYS = (
+    "cache_hits",
+    "scheduled",
+    "completed",
+    "reassignments",
+    "late_completions",
+    "duplicates",
+    "rejected",
+    "splits",
+    "failed_leases",
+)
 
 #: Default lease lifetime in seconds.  Generous — reassignment exists to
 #: survive dead workers, not to race slow ones; a reclaimed-but-alive
@@ -125,6 +141,14 @@ class Coordinator:
         queue splits the largest outstanding multi-task lease into
         single-task leases (see the module docstring).  Execution stays
         at-least-once over pure leaves, so results are unchanged.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.Metrics` registry
+        (e.g. :func:`repro.obs.global_metrics`) that lifecycle counters
+        and the ``coordinator.lease_seconds`` latency histogram are
+        mirrored into, so a live dashboard can tail them mid-run.  The
+        coordinator always keeps a private registry as well — the
+        :attr:`stats` view reads that one, so per-instance counts stay
+        exact even when many coordinators share one sink.
     """
 
     def __init__(
@@ -137,6 +161,7 @@ class Coordinator:
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         clock: Callable[[], float] = time.monotonic,
         split_stragglers: bool = True,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         if workers_hint < 1:
             raise ValueError("workers_hint must be at least 1")
@@ -153,26 +178,23 @@ class Coordinator:
         self._work_available = threading.Condition(self._lock)
         self._completed: Dict[TaskSpec, TaskResult] = {}
         self._split_stragglers = split_stragglers
-        self._stats: Dict[str, int] = {
-            "cache_hits": 0,
-            "scheduled": 0,
-            "completed": 0,
-            "reassignments": 0,
-            "late_completions": 0,
-            "duplicates": 0,
-            "rejected": 0,
-            "splits": 0,
-            "failed_leases": 0,
-        }
+        # Private registry (source of truth for the legacy ``stats`` view)
+        # plus the optional shared sink every count is mirrored into.
+        self._metrics = Metrics()
+        self._shared_metrics = metrics
+        #: Grant instants of live leases (for the latency histogram).
+        self._grant_times: Dict[str, float] = {}
 
         if cache is not None:
             hits, pending_tasks = cache.partition(spec, self._schedule)
             self._completed.update(hits)
-            self._stats["cache_hits"] = len(hits)
+            if hits:
+                self._count("cache_hits", len(hits))
         else:
             pending_tasks = list(self._schedule)
         self._scheduled_tasks: Tuple[TaskSpec, ...] = tuple(pending_tasks)
-        self._stats["scheduled"] = len(pending_tasks)
+        if pending_tasks:
+            self._count("scheduled", len(pending_tasks))
 
         requested = granularity if granularity is not None else spec.granularity
         self._granularity = resolve_granularity(requested, pending_tasks, workers_hint)
@@ -186,6 +208,23 @@ class Coordinator:
         self._pending: Deque[int] = deque(group.group_id for group in self._groups)
         self._leases: Dict[str, int] = {}
         self._deadlines: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ telemetry
+    def _count(self, key: str, value: int = 1) -> None:
+        """Bump lifecycle counter ``key`` (private + shared registries)."""
+        self._metrics.add(f"coordinator.{key}", value)
+        if self._shared_metrics is not None:
+            self._shared_metrics.add(f"coordinator.{key}", value)
+
+    def _observe_lease_latency(self, lease_id: str, now: float) -> None:
+        """Record grant→completion latency of a finishing lease."""
+        granted = self._grant_times.pop(lease_id, None)
+        if granted is None:
+            return
+        elapsed = now - granted
+        self._metrics.observe("coordinator.lease_seconds", elapsed)
+        if self._shared_metrics is not None:
+            self._shared_metrics.observe("coordinator.lease_seconds", elapsed)
 
     # ------------------------------------------------------------ inspection
     @property
@@ -205,9 +244,28 @@ class Coordinator:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Lifecycle counters (a copy)."""
+        """Lifecycle counters, legacy dict shape (a thin view).
+
+        Since the :mod:`repro.obs` consolidation the counters live in a
+        :class:`~repro.obs.metrics.Metrics` registry (see
+        :attr:`metrics`); this property rebuilds the historical
+        ``{"cache_hits": ..., "scheduled": ..., ...}`` dict from it so
+        existing callers and tests observe identical values.
+        """
         with self._lock:
-            return dict(self._stats)
+            return {
+                key: self._metrics.counter(f"coordinator.{key}")
+                for key in _STAT_KEYS
+            }
+
+    @property
+    def metrics(self) -> Metrics:
+        """This coordinator's private metrics registry.
+
+        Counters are named ``coordinator.<stat>``; lease latencies land in
+        the ``coordinator.lease_seconds`` histogram.
+        """
+        return self._metrics
 
     @property
     def done(self) -> bool:
@@ -234,10 +292,19 @@ class Coordinator:
                 continue
             deadline = self._deadlines.get(group.current_lease_id)
             if deadline is not None and deadline <= now:
+                expired_lease_id = group.current_lease_id
                 group.state = "pending"
                 group.current_lease_id = None
                 self._pending.appendleft(group.group_id)
-                self._stats["reassignments"] += 1
+                self._count("reassignments")
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "coordinator.lease.expired",
+                        lease_id=expired_lease_id,
+                        group=group.group_id,
+                        tasks=len(group.tasks),
+                    )
                 self._work_available.notify_all()
 
     def _split_straggler_locked(self) -> bool:
@@ -268,7 +335,15 @@ class Coordinator:
             self._groups.append(sub_group)
             straggler.split_into.append(sub_group.group_id)
             self._pending.append(sub_group.group_id)
-        self._stats["splits"] += 1
+        self._count("splits")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "coordinator.lease.split",
+                lease_id=straggler.current_lease_id,
+                group=straggler.group_id,
+                requeued=len(remaining),
+            )
         self._work_available.notify_all()
         return True
 
@@ -303,6 +378,16 @@ class Coordinator:
             )
             self._leases[lease_id] = group.group_id
             self._deadlines[lease_id] = lease.deadline
+            self._grant_times[lease_id] = now
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "coordinator.lease.claimed",
+                    lease_id=lease_id,
+                    worker=worker_id,
+                    tasks=len(group.tasks),
+                    attempt=group.attempts,
+                )
             return lease
 
     def complete_lease(
@@ -327,7 +412,16 @@ class Coordinator:
             group = self._groups[group_id]
             by_task = {result.task: result for result in results}
             if len(by_task) != len(results) or set(by_task) != set(group.tasks):
-                self._stats["rejected"] += 1
+                self._count("rejected")
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "coordinator.lease.rejected",
+                        lease_id=lease_id,
+                        group=group.group_id,
+                        results=len(results),
+                        tasks=len(group.tasks),
+                    )
                 if group.current_lease_id == lease_id and group.state == "leased":
                     group.state = "pending"
                     group.current_lease_id = None
@@ -344,19 +438,29 @@ class Coordinator:
                 if group.state not in ("done", "split"):
                     group.state = "done"
                     group.current_lease_id = None
-                self._stats["duplicates"] += 1
+                self._count("duplicates")
+                self._grant_times.pop(lease_id, None)
                 return False
             if group.current_lease_id != lease_id and group.state == "leased":
                 # A reclaimed lease finishing after all: accept it (the
                 # leaves are pure); the requeued copy is cancelled below.
-                self._stats["late_completions"] += 1
+                self._count("late_completions")
             if group.state == "pending":
                 # The group was reclaimed and requeued; this completion
                 # makes the requeued copy unnecessary.
                 self._pending.remove(group.group_id)
             for task in new_tasks:
                 self._completed[task] = by_task[task]
-            self._stats["completed"] += len(new_tasks)
+            self._count("completed", len(new_tasks))
+            self._observe_lease_latency(lease_id, self._clock())
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "coordinator.lease.completed",
+                    lease_id=lease_id,
+                    group=group.group_id,
+                    new_tasks=len(new_tasks),
+                )
             group.state = "done"
             group.current_lease_id = None
             self._cancel_covered_groups_locked(group)
@@ -401,8 +505,17 @@ class Coordinator:
             group.state = "pending"
             group.current_lease_id = None
             self._pending.appendleft(group.group_id)
-            self._stats["reassignments"] += 1
-            self._stats["failed_leases"] += 1
+            self._count("reassignments")
+            self._count("failed_leases")
+            self._grant_times.pop(lease_id, None)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "coordinator.lease.failed",
+                    lease_id=lease_id,
+                    group=group.group_id,
+                    tasks=len(group.tasks),
+                )
             self._work_available.notify_all()
 
     def wait_for_work(self, timeout: float) -> bool:

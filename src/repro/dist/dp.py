@@ -46,6 +46,7 @@ from repro.dist.cache import TaskCache
 from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT, Coordinator, Lease
 from repro.dist.shm import ShmTaskFabric, SubsetEffects, pack_batches
 from repro.dist.worker import Worker
+from repro.obs import get_tracer, global_metrics
 
 #: Format tag hashed into every DP provenance key.  v2: effect payloads
 #: moved from JSON nested tuples to the packed binary records of
@@ -318,8 +319,23 @@ def compute_dp_level(
                 except ValueError:  # foreign/corrupt entry: recompute
                     pass
             pending.append(bits)
+        metrics = global_metrics()
+        if effects:
+            metrics.add("dp.subset_cache_hits", len(effects))
+        if pending:
+            metrics.add("dp.subset_cache_misses", len(pending))
     else:
         pending = sorted(splits)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "dp.level.scheduled",
+            subsets=len(splits),
+            cached=len(effects),
+            pending=len(pending),
+            workers=workers,
+            fabric=fabric is not None,
+        )
     if not pending:
         return effects
 
@@ -342,16 +358,28 @@ def compute_dp_level(
         for index, start in enumerate(range(0, len(pending), shard_size))
     ]
 
-    def reduce_task(task: DPLevelTask) -> DPLevelResult:
+    def reduce_shard(task: DPLevelTask) -> List[SubsetEffects]:
         if fabric is not None:
-            per_subset = fabric.reduce_shard(task.subsets, level_alpha)
+            return fabric.reduce_shard(task.subsets, level_alpha)
+        return [
+            _reduce_subset_packed(
+                batch_model, cache, sets, splits[bits], level_alpha, bits
+            )
+            for bits in task.subsets
+        ]
+
+    def reduce_task(task: DPLevelTask) -> DPLevelResult:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "dp.shard",
+                task=task.task_id,
+                subsets=len(task.subsets),
+                fabric=fabric is not None,
+            ):
+                per_subset = reduce_shard(task)
         else:
-            per_subset = [
-                _reduce_subset_packed(
-                    batch_model, cache, sets, splits[bits], level_alpha, bits
-                )
-                for bits in task.subsets
-            ]
+            per_subset = reduce_shard(task)
         return DPLevelResult(
             task=task, effects=tuple(zip(task.subsets, per_subset))
         )
@@ -366,6 +394,7 @@ def compute_dp_level(
         granularity="case",
         cache=None,
         lease_timeout=lease_timeout,
+        metrics=global_metrics(),
     )
     if workers == 1:
         _DPWorker("dp-worker-0", coordinator, reduce_task, on_lease=on_lease).drain()

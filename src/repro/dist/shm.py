@@ -58,6 +58,7 @@ import numpy as np
 
 from repro.core.plan_cache import FrontierSimulator
 from repro.cost.batch import BatchCostModel, CandidateBatch
+from repro.obs import get_tracer, global_metrics
 from repro.plans.arena import PlanArena
 
 __all__ = [
@@ -514,13 +515,32 @@ class _WorkerFabricState:
 
 def _reduce_shard(
     meta: dict, subsets: Tuple[int, ...], level_alpha: float
-) -> List[SubsetEffects]:
-    """Pool entry point: refresh, then reduce every subset of the shard."""
+) -> Tuple[List[SubsetEffects], dict]:
+    """Pool entry point: refresh, then reduce every subset of the shard.
+
+    Returns ``(effects, metrics snapshot)`` — worker-process counters ride
+    back piggybacked on the packed effects, and the driver folds them into
+    its global registry (order-independent merges keep the totals
+    deterministic across lease orderings).
+    """
+    from repro.obs import reset_global_metrics
+
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("fabric worker used before initialization")
+    metrics = reset_global_metrics()
     state.refresh(meta)
-    return [state.reduce_subset(bits, level_alpha) for bits in subsets]
+    effects = [state.reduce_subset(bits, level_alpha) for bits in subsets]
+    metrics.add("dp.worker_subsets", len(effects))
+    metrics.add(
+        "dp.worker_candidates",
+        int(sum(int(packed.counts.sum()) for packed in effects)),
+    )
+    metrics.add(
+        "dp.worker_accepted",
+        int(sum(int(packed.rows.shape[0]) for packed in effects)),
+    )
+    return effects, metrics.snapshot()
 
 
 # -------------------------------------------------------------- driver side
@@ -677,6 +697,17 @@ class ShmTaskFabric:
         """
         if self._closed:
             raise RuntimeError("fabric is closed")
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "shm.flush",
+                queued_frontiers=len(self._queued),
+                published_nodes=self._published_nodes,
+            ):
+                return self._flush_inner()
+        return self._flush_inner()
+
+    def _flush_inner(self) -> dict:
         arena_size = len(self._arena)
         if arena_size > self._published_nodes:
             snapshot = self._arena.column_snapshot(
@@ -714,6 +745,19 @@ class ShmTaskFabric:
             "fhlen": self._fhlen,
             "num_metrics": self._num_metrics,
         }
+        metrics = global_metrics()
+        metrics.add("shm.flushes")
+        metrics.gauge("shm.published_nodes", float(self._published_nodes))
+        metrics.gauge("shm.frontier_entries", float(self._fentries))
+        metrics.gauge(
+            "shm.segment_bytes",
+            float(
+                sum(
+                    segment.capacity * segment.item_bytes
+                    for segment in self._segments.values()
+                )
+            ),
+        )
         return self._meta
 
     def _ensure(self, role: str, need: int) -> _Segment:
@@ -743,6 +787,7 @@ class ShmTaskFabric:
         segment.name = name
         segment.capacity = capacity
         segment.gen += 1
+        global_metrics().add("shm.segment_growths")
         return segment
 
     def _preserved_items(self, role: str) -> int:
@@ -765,6 +810,9 @@ class ShmTaskFabric:
             view = np.frombuffer(segment.shm.buf, dtype=dtype, count=segment.capacity)
         view[start:stop] = data
         del view  # release the buffer export before any close/unlink
+        global_metrics().add(
+            "shm.bytes_published", (stop - start) * segment.item_bytes
+        )
 
     # -------------------------------------------------------------- reduce
     def reduce_shard(
@@ -781,7 +829,9 @@ class ShmTaskFabric:
         future = self._pool.submit(
             _reduce_shard, self._meta, tuple(subsets), level_alpha
         )
-        return future.result()
+        effects, snapshot = future.result()
+        global_metrics().merge_snapshot(snapshot)
+        return effects
 
     @property
     def num_metrics(self) -> int:

@@ -16,14 +16,22 @@ exactly this through the ``on_lease`` hook.
 from __future__ import annotations
 
 import atexit
+import os
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, List, Optional
 
 from repro.bench.scenario import ScenarioSpec
-from repro.bench.tasks import TaskResult, TaskSpec, _execute_task_group
+from repro.bench.tasks import (
+    TaskResult,
+    TaskSpec,
+    _execute_task_group,
+    _execute_task_group_metered,
+)
 from repro.dist.cache import TaskCache
 from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT, Coordinator, Lease
+from repro.obs import METRICS_OUT_ENV_VAR, get_tracer, global_metrics
+from repro.obs.dashboard import MetricsPublisher
 
 # ----------------------------------------------------- shared process pool
 # One persistent ProcessPoolExecutor shared by successive run_coordinated
@@ -127,7 +135,17 @@ class Worker(threading.Thread):
             if self._on_lease is not None:
                 self._on_lease(lease)
             try:
-                results = self._execute(coordinator.spec, list(lease.tasks))
+                tracer = get_tracer()
+                if tracer.enabled:
+                    with tracer.span(
+                        "worker.lease",
+                        lease_id=lease.lease_id,
+                        worker=self.worker_id,
+                        tasks=len(lease.tasks),
+                    ):
+                        results = self._execute(coordinator.spec, list(lease.tasks))
+                else:
+                    results = self._execute(coordinator.spec, list(lease.tasks))
                 coordinator.complete_lease(lease.lease_id, results)
             except BaseException:
                 # An execution failure hands the lease back immediately
@@ -147,7 +165,15 @@ class Worker(threading.Thread):
     ) -> List[TaskResult]:
         if self._executor is None:
             return _execute_task_group(spec, tasks)
-        return self._executor.submit(_execute_task_group, spec, tasks).result()
+        # Process-pool dispatch ships the worker process's metrics snapshot
+        # back piggybacked on the lease results; folding is deterministic
+        # (order-independent merges), so driver totals match a sequential
+        # run no matter which lease lands first.
+        results, snapshot = self._executor.submit(
+            _execute_task_group_metered, spec, tasks
+        ).result()
+        global_metrics().merge_snapshot(snapshot)
+        return results
 
 
 def run_coordinated(
@@ -178,33 +204,46 @@ def run_coordinated(
         granularity=granularity,
         cache=cache,
         lease_timeout=lease_timeout,
+        metrics=global_metrics(),
     )
-    if use_processes is None:
-        use_processes = workers > 1
-    if workers == 1 and not use_processes:
-        Worker("worker-0", coordinator).drain()
-    else:
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            if use_processes:
-                pool = shared_process_pool(workers)
-            threads = [
-                Worker(f"worker-{index}", coordinator, executor=pool)
-                for index in range(workers)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        except BaseException:
-            if pool is not None:
-                shutdown_shared_pool()
-            raise
-        if not coordinator.done:
-            if pool is not None:
-                shutdown_shared_pool()
-            errors = [thread.error for thread in threads if thread.error is not None]
-            if errors:
-                raise errors[0]
-            raise RuntimeError("coordinator run ended with incomplete tasks")
+    # A live dashboard (``repro top``) tails the file named by
+    # REPRO_METRICS_OUT; publish the global registry there during the run.
+    publisher: Optional[MetricsPublisher] = None
+    metrics_path = os.environ.get(METRICS_OUT_ENV_VAR)
+    if metrics_path:
+        publisher = MetricsPublisher(global_metrics(), metrics_path).start()
+    try:
+        if use_processes is None:
+            use_processes = workers > 1
+        if workers == 1 and not use_processes:
+            Worker("worker-0", coordinator).drain()
+        else:
+            pool: Optional[ProcessPoolExecutor] = None
+            try:
+                if use_processes:
+                    pool = shared_process_pool(workers)
+                threads = [
+                    Worker(f"worker-{index}", coordinator, executor=pool)
+                    for index in range(workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            except BaseException:
+                if pool is not None:
+                    shutdown_shared_pool()
+                raise
+            if not coordinator.done:
+                if pool is not None:
+                    shutdown_shared_pool()
+                errors = [
+                    thread.error for thread in threads if thread.error is not None
+                ]
+                if errors:
+                    raise errors[0]
+                raise RuntimeError("coordinator run ended with incomplete tasks")
+    finally:
+        if publisher is not None:
+            publisher.stop()
     return coordinator

@@ -1,0 +1,166 @@
+"""``repro.obs`` — zero-overhead-when-disabled tracing and metrics.
+
+Two process-global singletons anchor the layer:
+
+* the **tracer** — :data:`~repro.obs.tracer.NULL_TRACER` by default, so
+  every ``get_tracer().span(...)`` on a hot path is a constant no-op
+  (identity-sentinel span, no allocation, no clock read); installed as a
+  real :class:`~repro.obs.tracer.Tracer` by :func:`enable_tracing`, the
+  ``repro trace`` subcommand, or the ``REPRO_TRACE=1`` environment gate;
+* the **global metrics registry** — always on (:func:`global_metrics`);
+  plain counter bumps are cheap enough to leave unconditional, and
+  per-worker snapshots fold into it deterministically.
+
+Timing *histograms* on hot paths are gated on ``get_tracer().enabled`` so
+the disabled configuration pays no clock reads.
+
+Examples
+--------
+>>> import repro.obs as obs
+>>> obs.tracing_enabled()
+False
+>>> obs.get_tracer() is obs.NULL_TRACER
+True
+>>> tracer = obs.enable_tracing()
+>>> with obs.get_tracer().span("dp.level", tables=2):
+...     pass
+>>> len(tracer.events())
+1
+>>> obs.disable_tracing() is tracer
+True
+>>> obs.tracing_enabled()
+False
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional, Union
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+)
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKETS,
+    METRICS_SNAPSHOT_FORMAT,
+    Histogram,
+    Metrics,
+    bucket_bounds,
+    bucket_index,
+    merge_snapshots,
+)
+from repro.obs.export import (
+    CHROME_TRACE_FORMAT,
+    chrome_trace_payload,
+    render_metrics_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from repro.obs.dashboard import MetricsPublisher, render_dashboard, tail_dashboard
+
+__all__ = [
+    "CHROME_TRACE_FORMAT",
+    "HISTOGRAM_BUCKETS",
+    "METRICS_SNAPSHOT_FORMAT",
+    "Histogram",
+    "Metrics",
+    "MetricsPublisher",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "bucket_bounds",
+    "bucket_index",
+    "chrome_trace_payload",
+    "configure_from_env",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "global_metrics",
+    "merge_snapshots",
+    "render_dashboard",
+    "render_metrics_report",
+    "reset_global_metrics",
+    "set_tracer",
+    "tail_dashboard",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+]
+
+#: Environment gate: ``REPRO_TRACE=1`` enables tracing at import of the CLI.
+TRACE_ENV_VAR = "REPRO_TRACE"
+#: Optional trace output path honored with the env gate.
+TRACE_OUT_ENV_VAR = "REPRO_TRACE_OUT"
+#: Optional metrics snapshot output path honored with the env gate.
+METRICS_OUT_ENV_VAR = "REPRO_METRICS_OUT"
+
+_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+_metrics = Metrics()
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The process-global tracer (:data:`NULL_TRACER` unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Union[Tracer, NullTracer]) -> Union[Tracer, NullTracer]:
+    """Install ``tracer`` as the global tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def enable_tracing(clock: Callable[[], float] = time.perf_counter) -> Tracer:
+    """Install (and return) a fresh enabled :class:`Tracer`."""
+    tracer = Tracer(clock=clock)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> Union[Tracer, NullTracer]:
+    """Reinstall :data:`NULL_TRACER`; returns the tracer that was active."""
+    return set_tracer(NULL_TRACER)
+
+
+def tracing_enabled() -> bool:
+    """True when the global tracer records."""
+    return _tracer.enabled
+
+
+def global_metrics() -> Metrics:
+    """The process-global (always-on) metrics registry."""
+    return _metrics
+
+
+def reset_global_metrics() -> Metrics:
+    """Clear the global registry (test isolation); returns it."""
+    _metrics.clear()
+    return _metrics
+
+
+def configure_from_env(environ: Optional[dict] = None) -> bool:
+    """Honor the ``REPRO_TRACE`` gate; returns whether tracing is now on.
+
+    ``REPRO_TRACE`` in ``{"1", "true", "yes", "on"}`` (case-insensitive)
+    installs an enabled tracer if one is not already active; any other
+    value (or absence) leaves the current tracer untouched — the gate only
+    ever turns tracing *on*, so programmatic ``enable_tracing`` calls are
+    never reverted by the environment.
+    """
+    env = environ if environ is not None else os.environ
+    flag = str(env.get(TRACE_ENV_VAR, "")).strip().lower()
+    if flag in ("1", "true", "yes", "on") and not _tracer.enabled:
+        enable_tracing()
+    return _tracer.enabled

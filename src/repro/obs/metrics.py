@@ -1,0 +1,317 @@
+"""The metrics registry: counters, gauges, log-bucket histograms.
+
+A :class:`Metrics` instance is a named registry of three primitives:
+
+* **counters** — monotonically increasing integers (``add``);
+* **gauges** — last-written floats (``gauge``), e.g. a frontier's row
+  count or a shared-memory segment's size;
+* **histograms** — fixed log-scale buckets (``observe``), e.g. per-lease
+  latencies.  Bucket boundaries are powers of two of the observed value
+  (:func:`bucket_index`), so bucketing is a pure per-observation function:
+  merging two histograms is bucket-wise integer addition and therefore
+  independent of observation *order* — the property that lets per-worker
+  metrics fold deterministically into driver totals across process
+  boundaries.
+
+``snapshot()`` renders a registry as a plain JSON-serializable dict;
+``merge_snapshot()`` folds one snapshot into a registry (counters add,
+gauges keep the maximum, histograms merge bucket-wise).  Snapshots are the
+only cross-process interchange — worker processes never share registry
+objects, they ship snapshots piggybacked on their results.
+
+Mutation fast paths (``add`` / ``gauge`` / ``observe``) are single dict
+operations — atomic under the GIL, deliberately lock-free so hot loops pay
+no synchronization.  Writers of the *same* name must be serialized by the
+caller when exactness matters across threads (the
+:class:`~repro.dist.coordinator.Coordinator` mutates only under its own
+lock); ``merge_snapshot`` and ``snapshot`` take the registry lock, so
+concurrent merges from worker threads are exact.
+
+Examples
+--------
+>>> from repro.obs.metrics import Metrics
+>>> metrics = Metrics()
+>>> metrics.add("cache.hits")
+1
+>>> metrics.add("cache.hits", 2)
+3
+>>> metrics.gauge("frontier.rows", 41.0)
+>>> metrics.observe("lease.seconds", 0.25)
+>>> other = Metrics()
+>>> _ = other.add("cache.hits", 10)
+>>> other.merge_snapshot(metrics.snapshot())
+>>> other.counter("cache.hits")
+13
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "METRICS_SNAPSHOT_FORMAT",
+    "Histogram",
+    "Metrics",
+    "bucket_bounds",
+    "bucket_index",
+]
+
+#: Version tag of the snapshot dict format.
+METRICS_SNAPSHOT_FORMAT = "repro-metrics-v1"
+
+#: Number of fixed histogram buckets.
+HISTOGRAM_BUCKETS = 128
+
+#: Bucket ``_BUCKET_OFFSET`` holds values in ``[0.5, 1.0)`` — i.e. the
+#: binary exponent 0; the offset centres the representable range so both
+#: sub-second latencies and multi-gigabyte sizes bucket without clamping.
+_BUCKET_OFFSET = 64
+
+
+def bucket_index(value: float) -> int:
+    """The fixed log-scale bucket of one observation.
+
+    Bucket ``i`` covers ``[2**(i - 65), 2**(i - 64))``; non-positive and
+    NaN observations land in bucket 0, ``+inf`` in the last bucket.  Pure
+    per-value — bucketing never depends on previous observations, which is
+    what makes histogram merges order-independent.
+
+    >>> bucket_index(0.75)  # [0.5, 1) is the exponent-0 bucket
+    64
+    >>> bucket_index(1.0) - bucket_index(0.5)
+    1
+    >>> bucket_index(0.0)
+    0
+    """
+    if value != value or value <= 0.0:  # NaN or non-positive
+        return 0
+    if value == math.inf:
+        return HISTOGRAM_BUCKETS - 1
+    exponent = math.frexp(value)[1]  # value = m * 2**exponent, m in [0.5, 1)
+    return min(HISTOGRAM_BUCKETS - 1, max(0, exponent + _BUCKET_OFFSET))
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """``[low, high)`` value bounds of bucket ``index`` (for reports)."""
+    if not 0 <= index < HISTOGRAM_BUCKETS:
+        raise ValueError(f"bucket index out of range: {index}")
+    if index == 0:
+        return (0.0, 2.0 ** (1 - _BUCKET_OFFSET))
+    return (2.0 ** (index - 1 - _BUCKET_OFFSET), 2.0 ** (index - _BUCKET_OFFSET))
+
+
+class Histogram:
+    """Fixed log-bucket histogram with exact count/sum/min/max side-stats."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: Sparse ``bucket index -> observation count``.
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (bucket keys as strings, sorted)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                str(index): self.buckets[index] for index in sorted(self.buckets)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output."""
+        histogram = cls()
+        histogram.merge_dict(payload)
+        return histogram
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold a serialized histogram in (bucket-wise; order-independent)."""
+        count = int(payload["count"])
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(payload["sum"])
+        low = payload.get("min")
+        high = payload.get("max")
+        if low is not None and float(low) < self.min:
+            self.min = float(low)
+        if high is not None and float(high) > self.max:
+            self.max = float(high)
+        for key, bucket_count in payload["buckets"].items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + int(bucket_count)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram(count={self.count}, mean={self.mean:.6g})"
+
+
+class Metrics:
+    """A named registry of counters, gauges, and histograms (see module doc)."""
+
+    __slots__ = ("_lock", "_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- mutation
+    def add(self, name: str, value: int = 1) -> int:
+        """Increment counter ``name`` by ``value``; returns the new total.
+
+        Lock-free (one dict read-modify-write, atomic under the GIL);
+        serialize same-name writers externally when cross-thread exactness
+        matters.
+        """
+        total = self._counters.get(name, 0) + value
+        self._counters[name] = total
+        return total
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value (thin-view setters)."""
+        self._counters[name] = value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last write wins; merges keep the maximum)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms.setdefault(name, Histogram())
+        histogram.observe(value)
+
+    # ------------------------------------------------------------ inspection
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never written)."""
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        """Current value of gauge ``name`` (None when never written)."""
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """Histogram ``name`` (None when never written)."""
+        return self._histograms.get(name)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """All counters whose name starts with ``prefix`` (sorted copy)."""
+        return {
+            name: self._counters[name]
+            for name in sorted(self._counters)
+            if name.startswith(prefix)
+        }
+
+    def names(self) -> List[str]:
+        """All registered names, sorted, across the three primitive kinds."""
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    # ----------------------------------------------------- snapshot / merge
+    def snapshot(self) -> dict:
+        """The registry as a plain JSON-serializable dict (sorted keys)."""
+        with self._lock:
+            return {
+                "format": METRICS_SNAPSHOT_FORMAT,
+                "counters": {
+                    name: self._counters[name] for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name] for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: self._histograms[name].to_dict()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold one snapshot in: counters add, gauges max, histograms merge.
+
+        Deterministic and order-independent over any set of snapshots
+        (addition and max are commutative and associative; histogram sums
+        accumulate in sorted-name order) — per-worker snapshots fold into
+        the same driver totals no matter which worker reports first.
+        Raises ``ValueError`` on a foreign payload.
+        """
+        if snapshot.get("format") != METRICS_SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"foreign metrics snapshot (format={snapshot.get('format')!r})"
+            )
+        with self._lock:
+            for name in sorted(snapshot["counters"]):
+                self._counters[name] = (
+                    self._counters.get(name, 0) + int(snapshot["counters"][name])
+                )
+            for name in sorted(snapshot["gauges"]):
+                value = float(snapshot["gauges"][name])
+                current = self._gauges.get(name)
+                if current is None or value > current:
+                    self._gauges[name] = value
+            for name in sorted(snapshot["histograms"]):
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms.setdefault(name, Histogram())
+                histogram.merge_dict(snapshot["histograms"][name])
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "Metrics":
+        """A fresh registry holding exactly one snapshot's contents."""
+        metrics = cls()
+        metrics.merge_snapshot(snapshot)
+        return metrics
+
+    def clear(self) -> None:
+        """Drop every registered name."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __len__(self) -> int:
+        """Number of registered names."""
+        return len(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Metrics(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold many snapshots into one (a convenience over ``merge_snapshot``)."""
+    merged = Metrics()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()

@@ -1,0 +1,234 @@
+"""Nested-span tracing with a zero-overhead disabled path.
+
+A :class:`Tracer` records **spans** (timed, possibly nested regions — one
+DP level, one coordinator lease, one ``run_scenario`` phase) and **typed
+events** (instants — a lease expiry, a corrupt cache entry) into an
+in-memory buffer of Chrome ``trace_event`` records, exportable with
+:mod:`repro.obs.export` and loadable in ``chrome://tracing`` / Perfetto.
+
+Design constraints, in order:
+
+* **Zero overhead when disabled.**  The process-global tracer defaults to
+  :data:`NULL_TRACER`, whose ``span()`` returns the shared identity
+  sentinel :data:`NULL_SPAN` — no span object is allocated, ``__enter__``
+  / ``__exit__`` are constant no-ops, and no clock is read.  Hot paths can
+  therefore call ``get_tracer().span(...)`` unconditionally.
+* **Determinism untouched.**  Tracing only *observes*: it reads a
+  monotonic clock (injectable for tests) and appends records; it never
+  touches RNG streams, frontier state, or provenance hashes.  Traced and
+  untraced runs are bit-identical (pinned by ``tests/test_obs.py``).
+* **Thread-safe recording.**  Events are appended to a list (atomic under
+  the GIL); export snapshots a copy.
+
+Examples
+--------
+>>> from repro.obs.tracer import Tracer
+>>> ticks = iter(range(100))
+>>> tracer = Tracer(clock=lambda: next(ticks) / 1000.0)  # 1 ms per tick
+>>> with tracer.span("dp.level", tables=3):
+...     tracer.event("dp.level.cached", subsets=0)
+>>> [(e["name"], e["ph"]) for e in tracer.events()]
+[('dp.level.cached', 'i'), ('dp.level', 'X')]
+>>> tracer.events()[1]["dur"]  # 2 ticks inside the span, microseconds
+2000.0
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]
+
+
+class NullSpan:
+    """The disabled span: a shared, reusable, do-nothing context manager.
+
+    :data:`NULL_SPAN` is the only instance; ``NullTracer.span`` returns it
+    by identity so the disabled fast path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    #: Disabled spans record nothing.
+    enabled = False
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def event(self, name: str, **attrs: object) -> None:
+        """No-op twin of :meth:`Span.event`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NULL_SPAN"
+
+
+#: The shared disabled span (identity sentinel of the disabled fast path).
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is a constant no-op.
+
+    ``span()`` returns :data:`NULL_SPAN` by identity (no allocation, no
+    clock read); ``event()`` does nothing.  :data:`NULL_TRACER` is the only
+    instance ever installed, so ``get_tracer() is NULL_TRACER`` is the
+    canonical "is tracing off?" test.
+    """
+
+    __slots__ = ()
+
+    #: The flag hot paths may branch on to skip building span attributes.
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> NullSpan:
+        """Return the shared no-op span (identity sentinel)."""
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Discard the event."""
+
+    def events(self) -> List[dict]:
+        """A disabled tracer holds no events."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NULL_TRACER"
+
+
+#: The shared disabled tracer, installed by default.
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One live span of an enabled :class:`Tracer` (a context manager).
+
+    Entering reads the clock; exiting records one Chrome ``"X"``
+    (complete) event with microsecond ``ts``/``dur``.  Nesting is implied
+    by time containment per thread, exactly how ``chrome://tracing``
+    renders flame graphs — no explicit parent pointers are needed.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._start: Optional[float] = None
+
+    #: Enabled spans record on exit.
+    enabled = True
+
+    def __enter__(self) -> "Span":
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        start = self._start if self._start is not None else self._tracer._clock()
+        self._tracer._record_complete(self._name, start, self._attrs)
+        return False
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record an instant event while the span is open."""
+        self._tracer.event(name, **attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self._name!r})"
+
+
+class Tracer:
+    """An enabled tracer: records spans and events as Chrome trace records.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source in seconds (default ``time.perf_counter``).
+        Injectable so tests produce deterministic timestamps.  The first
+        reading becomes the trace epoch; all ``ts`` values are microseconds
+        since it.
+
+    Records follow the Chrome ``trace_event`` format: spans are phase
+    ``"X"`` (complete) events carrying ``dur``; :meth:`event` records are
+    phase ``"i"`` (instant) events with thread scope.  Keyword attributes
+    become the record's ``args`` (keep them JSON-serializable; the exporter
+    stringifies anything else).
+    """
+
+    __slots__ = ("_clock", "_epoch", "_events", "_pid")
+
+    #: Enabled tracers record.
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._events: List[dict] = []
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------ recording
+    def _ts(self, instant: float) -> float:
+        """Microseconds since the trace epoch."""
+        return (instant - self._epoch) * 1e6
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a span; use as ``with tracer.span("dp.level", tables=k):``."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record an instant event."""
+        self._events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": self._ts(self._clock()),
+                "pid": self._pid,
+                "tid": threading.get_ident(),
+                "s": "t",
+                "args": attrs,
+            }
+        )
+
+    def _record_complete(
+        self, name: str, start: float, attrs: Dict[str, object]
+    ) -> None:
+        end = self._clock()
+        self._events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": self._ts(start),
+                "dur": self._ts(end) - self._ts(start),
+                "pid": self._pid,
+                "tid": threading.get_ident(),
+                "args": attrs,
+            }
+        )
+
+    # ----------------------------------------------------------- inspection
+    def events(self) -> List[dict]:
+        """A copy of the recorded events (append order, not span order)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        """Number of recorded events."""
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop all recorded events (the epoch is preserved)."""
+        self._events.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(events={len(self._events)})"

@@ -71,6 +71,7 @@ __all__ = [
     "make_store",
     "resolve_store_policy",
     "sorted_dominance_fold",
+    "store_stats",
 ]
 
 #: Environment variable pinning the store policy for the whole process.
@@ -176,6 +177,20 @@ class FrontierStore(Protocol):
         ...
 
 
+def store_stats(store: "FrontierStore") -> Dict[str, int | str]:
+    """Diagnostic counters of a frontier store, uniform across tiers.
+
+    Every concrete store keeps a plain-int query counter (incremented on
+    ``any_covering`` / ``dominated_ids`` / ``any_strictly_dominating``) and
+    exposes it through a ``stats`` property; this helper reads it with a
+    graceful fallback for protocol-compatible third-party stores.
+    """
+    stats = getattr(store, "stats", None)
+    if stats is None:
+        return {"kind": store.name, "size": len(store)}
+    return dict(stats)
+
+
 def _has_nan(row: np.ndarray) -> bool:
     return bool(np.isnan(row).any())
 
@@ -199,6 +214,12 @@ class FlatFrontier:
         self._tags = np.empty(8, dtype=np.int64)
         self._ids = np.empty(8, dtype=np.int64)
         self._count = 0
+        self._queries = 0
+
+    @property
+    def stats(self) -> Dict[str, int | str]:
+        """Cheap diagnostic counters (see :func:`store_stats`)."""
+        return {"kind": self.name, "size": len(self), "queries": self._queries}
 
     def __len__(self) -> int:
         return self._count
@@ -246,6 +267,7 @@ class FlatFrontier:
         self._count = kept
 
     def any_covering(self, row, alpha, tag) -> bool:
+        self._queries += 1
         if not self._count:
             return False
         mask = np.all(self._rows[: self._count] <= alpha * row, axis=1)
@@ -254,6 +276,7 @@ class FlatFrontier:
         return bool(mask.any())
 
     def dominated_ids(self, row, tag) -> List[int]:
+        self._queries += 1
         if not self._count:
             return []
         mask = np.all(row <= self._rows[: self._count], axis=1)
@@ -262,6 +285,7 @@ class FlatFrontier:
         return self._ids[: self._count][mask].tolist()
 
     def any_strictly_dominating(self, row) -> bool:
+        self._queries += 1
         if not self._count:
             return False
         active = self._rows[: self._count]
@@ -319,6 +343,7 @@ class SortedFrontier:
     def __init__(self, num_metrics: int, block_size: int = 128) -> None:
         if block_size < 2:
             raise ValueError(f"block size must be at least 2, got {block_size}")
+        self._queries = 0
         self._dim = num_metrics
         self._block = block_size
         self._capacity = 2 * block_size
@@ -342,6 +367,16 @@ class SortedFrontier:
     def num_blocks(self) -> int:
         """Number of live blocks (diagnostic)."""
         return self._nb
+
+    @property
+    def stats(self) -> Dict[str, int | str]:
+        """Cheap diagnostic counters (see :func:`store_stats`)."""
+        return {
+            "kind": self.name,
+            "size": len(self),
+            "queries": self._queries,
+            "blocks": self._nb,
+        }
 
     def clear(self) -> None:
         self._blocks = []
@@ -520,6 +555,7 @@ class SortedFrontier:
 
     # ------------------------------------------------------------- queries
     def any_covering(self, row, alpha, tag) -> bool:
+        self._queries += 1
         if not self._nb or _has_nan(row):
             return False
         bound = alpha * row
@@ -547,6 +583,7 @@ class SortedFrontier:
         return False
 
     def dominated_ids(self, row, tag) -> List[int]:
+        self._queries += 1
         if not self._nb or _has_nan(row):
             return []
         # A dominated row m has m[0] >= row[0]; blocks ending below that
@@ -572,6 +609,7 @@ class SortedFrontier:
         return out
 
     def any_strictly_dominating(self, row) -> bool:
+        self._queries += 1
         if not self._nb or _has_nan(row):
             return False
         window = int(np.searchsorted(self._sum_lo[: self._nb], row[0], side="right"))
@@ -672,10 +710,16 @@ class NDTreeFrontier:
         self._leaf_of: Dict[int, _NDNode] = {}
         self._inert: Dict[int, None] = {}
         self._len = 0
+        self._queries = 0
 
     # ------------------------------------------------------------ accessors
     def __len__(self) -> int:
         return self._len
+
+    @property
+    def stats(self) -> Dict[str, int | str]:
+        """Cheap diagnostic counters (see :func:`store_stats`)."""
+        return {"kind": self.name, "size": len(self), "queries": self._queries}
 
     def clear(self) -> None:
         self._root = None
@@ -836,6 +880,7 @@ class NDTreeFrontier:
 
     # ------------------------------------------------------------- queries
     def any_covering(self, row, alpha, tag) -> bool:
+        self._queries += 1
         root = self._root
         if root is None or _has_nan(row):
             return False
@@ -859,6 +904,7 @@ class NDTreeFrontier:
         return False
 
     def dominated_ids(self, row, tag) -> List[int]:
+        self._queries += 1
         root = self._root
         if root is None or _has_nan(row):
             return []
@@ -894,6 +940,7 @@ class NDTreeFrontier:
                 stack.extend(current.children)
 
     def any_strictly_dominating(self, row) -> bool:
+        self._queries += 1
         root = self._root
         if root is None or _has_nan(row):
             return False

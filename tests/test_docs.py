@@ -32,6 +32,8 @@ DOCTEST_MODULES = (
     "repro.pareto.engine",
     "repro.bench.tasks",
     "repro.core.interface",
+    "repro.obs.tracer",
+    "repro.obs.metrics",
 )
 
 #: Markdown files containing executable ``>>>`` examples.
