@@ -21,6 +21,13 @@ Usage::
         --dir workdir --workers 2 --cache-dir ~/.repro-cache
     python -m repro.bench.cli work --dir workdir   # on any other machine
 
+    # Optimization as a service: one long-lived TCP server, persistent
+    # worker pools attaching at runtime, many concurrent clients sharing
+    # one deterministic-leaf cache:
+    python -m repro.bench.cli serve --port 7963 --cache-dir ~/.repro-cache
+    python -m repro.bench.cli work --attach 127.0.0.1:7963 --workers 4
+    python -m repro.bench.cli submit figure1 --scale smoke --steps --port 7963
+
     # Regression archive: re-run the workload zoo and compare its frontier
     # fingerprints against the pinned baseline (tests/regression/archive.json):
     python -m repro.bench.cli regress check
@@ -257,12 +264,19 @@ def build_work_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.bench.cli work",
         description=(
-            "Pull and execute task batches from a coordinator work "
-            "directory until it is drained (runs on any machine that can "
-            "reach the directory)."
+            "Pull and execute leases — from a shared work directory "
+            "(--dir, file transport) or a lease service (--attach "
+            "host:port, TCP transport).  Runs on any machine that can "
+            "reach the directory or the server."
         ),
     )
-    parser.add_argument("--dir", required=True, help="shared work directory")
+    parser.add_argument("--dir", default=None, help="shared work directory")
+    parser.add_argument(
+        "--attach",
+        default=None,
+        metavar="HOST:PORT",
+        help="attach to a running lease service instead of a directory",
+    )
     parser.add_argument(
         "--worker-id", type=str, default=None, help="worker identifier (default: auto)"
     )
@@ -270,13 +284,37 @@ def build_work_parser() -> argparse.ArgumentParser:
         "--poll",
         type=float,
         default=0.1,
-        help="seconds between queue scans when no batch is claimable",
+        help="initial idle-poll interval (backs off exponentially with jitter)",
+    )
+    parser.add_argument(
+        "--poll-cap",
+        type=float,
+        default=None,
+        help="idle-poll backoff cap in seconds (default: 32x --poll)",
     )
     parser.add_argument(
         "--max-batches",
         type=int,
         default=None,
-        help="stop after executing this many batches",
+        help="stop after executing this many batches/leases (per worker)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads (TCP only; each holds its own connection)",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit when the server reports zero live jobs (TCP only; "
+        "default: keep serving until killed)",
+    )
+    parser.add_argument(
+        "--renew-interval",
+        type=float,
+        default=None,
+        help="heartbeat the held lease every this many seconds",
     )
     return parser
 
@@ -639,16 +677,226 @@ def _run_coordinate(argv: Sequence[str]) -> str:
 
 
 def _run_work(argv: Sequence[str]) -> str:
+    args = build_work_parser().parse_args(argv)
+    if (args.dir is None) == (args.attach is None):
+        raise SystemExit("work needs exactly one of --dir or --attach")
+    if args.attach is not None:
+        from repro.dist.service import run_service_worker
+
+        counters = run_service_worker(
+            _parse_address(args.attach),
+            workers=max(1, args.workers),
+            max_leases=args.max_batches,
+            poll=args.poll,
+            poll_cap=args.poll_cap,
+            drain=args.drain,
+            use_processes=args.workers > 1,
+            renew_interval=args.renew_interval,
+            worker_id=args.worker_id,
+        )
+        return (
+            f"[worker done: executed {counters['leases']} lease(s) from "
+            f"{args.attach}, {counters['reconnects']} reconnect(s), "
+            f"{counters['renewals']} renewal(s)]"
+        )
     from repro.dist.protocol import run_worker
 
-    args = build_work_parser().parse_args(argv)
     executed = run_worker(
         args.dir,
         worker_id=args.worker_id,
         poll=args.poll,
+        poll_cap=args.poll_cap,
         max_batches=args.max_batches,
+        renew_interval=args.renew_interval,
     )
     return f"[worker done: executed {executed} batch(es) from {args.dir}]"
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``serve`` subcommand."""
+    from repro.dist.service import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli serve",
+        description=(
+            "Run the optimization service: a long-lived TCP lease server "
+            "multiplexing many clients' scenario jobs over attached worker "
+            "pools, with a shared task-result cache."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"bind port (0 = ephemeral; default {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write 'host:port' here once listening (for scripts/CI)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, help="task-result cache directory"
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help="size cap for --cache-dir in megabytes (LRU; default unbounded)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=64, help="admission cap on live jobs"
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=300.0,
+        help="seconds before an uncompleted lease is reassigned",
+    )
+    parser.add_argument(
+        "--runtime",
+        type=float,
+        default=None,
+        help="stop after this many seconds (default: run until interrupted)",
+    )
+    return parser
+
+
+def _run_serve(argv: Sequence[str]) -> str:
+    import os
+
+    from repro.dist.cache import TaskCache
+    from repro.dist.service import start_service
+    from repro.obs import METRICS_OUT_ENV_VAR, global_metrics
+    from repro.obs.dashboard import MetricsPublisher
+
+    args = build_serve_parser().parse_args(argv)
+    cache_cap = _cache_cap_bytes(args)
+    cache = (
+        TaskCache(args.cache_dir, max_bytes=cache_cap) if args.cache_dir else None
+    )
+    handle = start_service(
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        max_jobs=args.max_jobs,
+        lease_timeout=args.lease_timeout,
+        metrics=global_metrics(),
+    )
+    host, port = handle.address
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{host}:{port}\n")
+    print(f"[service listening on {host}:{port}]", flush=True)
+    stop = threading.Event()
+    try:
+        # SIGTERM/SIGINT end the serve loop cleanly; signal handlers can
+        # only be installed on the main thread (tests call run() directly
+        # from worker threads, where KeyboardInterrupt still applies).
+        import signal
+
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+    except ValueError:
+        pass
+    publisher = None
+    metrics_path = os.environ.get(METRICS_OUT_ENV_VAR)
+    if metrics_path:
+        publisher = MetricsPublisher(global_metrics(), metrics_path).start()
+    try:
+        stop.wait(timeout=args.runtime)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if publisher is not None:
+            publisher.stop()
+        stats = handle.service.stats_snapshot()
+        handle.stop()
+    return (
+        f"[service stopped: {stats['jobs_completed']} job(s) completed, "
+        f"{stats['leases_granted']} lease(s) granted, "
+        f"{stats['session_results']} memoized result(s)]"
+    )
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``submit`` subcommand."""
+    from repro.dist.service import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli submit",
+        description=(
+            "Submit one figure's schedule to a running lease service, wait "
+            "for the reduced result, and print the scenario report."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(figures.FIGURE_SPECS),
+        help="figure identifier (figure1..figure9, ablation_rmq, ablation_alpha, zoo)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="service host")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="service port"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ScenarioScale],
+        default=ScenarioScale.DEFAULT.value,
+        help="experiment scale",
+    )
+    parser.add_argument(
+        "--steps", action="store_true", help="run the step-driven figure variant"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario base seed"
+    )
+    parser.add_argument(
+        "--granularity",
+        choices=["cell", "case", "auto"],
+        default=None,
+        help="lease size: whole cells, single leaves, or 'auto' (default)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up after this many seconds without the full result",
+    )
+    return parser
+
+
+def _run_submit(argv: Sequence[str]) -> str:
+    from repro.dist.service import submit_scenario
+
+    args = build_submit_parser().parse_args(argv)
+    spec = _resolve_figure_spec(args)
+    results, info = submit_scenario(
+        (args.host, args.port),
+        spec,
+        granularity=args.granularity,
+        timeout=args.timeout,
+    )
+    result = ScenarioResult(spec=spec, cells=reduce_task_results(spec, results))
+    header = (
+        f"[service {args.host}:{args.port}: job {info['job']}, "
+        f"{info['scheduled']} scheduled, {info['cache_hits']} cache hit(s), "
+        f"{info['deferred']} deferred, {info['injected']} injected]\n"
+    )
+    return header + format_scenario_report(result) + "\n" + summarize_winners(result)
+
+
+def _parse_address(value: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` service address."""
+    host, _, port_text = value.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 < port < 65536:
+        raise SystemExit(f"expected HOST:PORT (e.g. 127.0.0.1:7963), got {value!r}")
+    return host, port
 
 
 def _parse_shard(value: str) -> Tuple[int, int]:
@@ -689,6 +937,10 @@ def _run_dispatch(argv: list) -> str:
         return _run_coordinate(argv[1:])
     if argv and argv[0] == "work":
         return _run_work(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        return _run_submit(argv[1:])
     if argv and argv[0] == "regress":
         return _run_regress(argv[1:])
     if argv and argv[0] == "trace":

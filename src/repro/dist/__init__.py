@@ -9,19 +9,29 @@ dynamically instead:
   and hands out time-limited **leases**; expired leases are reassigned, late
   or duplicate completions are reconciled (leaves are pure, so at-least-once
   execution still yields exactly-once results);
+* :class:`~repro.dist.transport.LeaseTransport` is the explicit interface
+  of that lifecycle — claim/complete/renew/fail as messages — with three
+  wires: in-memory (the coordinator itself), a shared directory
+  (:class:`~repro.dist.protocol.FileLeaseTransport`), and TCP
+  (:mod:`repro.dist.service`);
 * :mod:`~repro.dist.worker` drives local workers — threads pulling leases
-  and executing on a shared process pool;
-* :mod:`~repro.dist.protocol` is the file-based variant of the same lease
+  from any transport and executing on a shared process pool;
+* :mod:`~repro.dist.protocol` is the file-based variant of the lease
   lifecycle over a shared directory, so workers on other machines can pull
   work with nothing but filesystem access;
+* :mod:`~repro.dist.service` is **optimization as a service**: a
+  long-lived asyncio TCP server multiplexing many tenants' jobs over
+  persistent worker pools, with admission control and a shared cache so
+  concurrent clients never execute the same deterministic leaf twice;
 * :class:`~repro.dist.cache.TaskCache` is a content-addressed store of leaf
   results keyed by provenance hash
   (:func:`repro.bench.tasks.task_provenance_hash`), so deterministic leaves
   — above all the DP(1.01) reference frontiers — are computed once and
-  reused across figure variants and re-runs.
+  reused across figure variants, re-runs, and tenants.
 
 On step-driven specs every mode is bit-identical to a sequential
-:func:`repro.bench.runner.run_scenario` (pinned by ``tests/test_dist.py``).
+:func:`repro.bench.runner.run_scenario` (pinned by ``tests/test_dist.py``
+and ``tests/test_service.py``).
 """
 
 from repro.dist.cache import TaskCache
@@ -33,19 +43,45 @@ from repro.dist.dp import (
     dp_provenance_signature,
     dp_subset_key,
 )
-from repro.dist.protocol import collect_results, init_workdir, run_worker
+from repro.dist.protocol import (
+    FileLeaseTransport,
+    collect_results,
+    init_workdir,
+    run_worker,
+)
+from repro.dist.service import (
+    LeaseService,
+    RemoteLeaseTransport,
+    ServiceClient,
+    ServiceHandle,
+    run_service_worker,
+    start_service,
+    submit_scenario,
+)
+from repro.dist.transport import ExponentialBackoff, LeaseRenewer, LeaseTransport
 from repro.dist.worker import Worker, run_coordinated
 
 __all__ = [
     "Coordinator",
     "Lease",
     "LeaseValidationError",
+    "LeaseTransport",
+    "LeaseRenewer",
+    "ExponentialBackoff",
     "TaskCache",
     "Worker",
     "run_coordinated",
     "init_workdir",
     "run_worker",
     "collect_results",
+    "FileLeaseTransport",
+    "LeaseService",
+    "ServiceClient",
+    "ServiceHandle",
+    "RemoteLeaseTransport",
+    "start_service",
+    "submit_scenario",
+    "run_service_worker",
     "DPLevelTask",
     "DPLevelResult",
     "compute_dp_level",

@@ -43,8 +43,17 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.bench.scenario import ScenarioSpec
 from repro.bench.tasks import (
@@ -56,6 +65,7 @@ from repro.bench.tasks import (
     task_is_deterministic,
 )
 from repro.dist.cache import TaskCache
+from repro.dist.transport import Lease, LeaseTransport
 from repro.obs import get_tracer
 from repro.obs.metrics import Metrics
 
@@ -71,6 +81,9 @@ _STAT_KEYS = (
     "rejected",
     "splits",
     "failed_leases",
+    "renewals",
+    "deferred",
+    "injected",
 )
 
 #: Default lease lifetime in seconds.  Generous — reassignment exists to
@@ -83,15 +96,12 @@ class LeaseValidationError(ValueError):
     """A completion did not match its lease (unknown id or wrong tasks)."""
 
 
-@dataclass(frozen=True)
-class Lease:
-    """One granted lease: a task group, its holder, and its deadline."""
-
-    lease_id: str
-    worker_id: str
-    tasks: Tuple[TaskSpec, ...]
-    deadline: float
-    attempt: int
+__all__ = [
+    "Coordinator",
+    "DEFAULT_LEASE_TIMEOUT",
+    "Lease",
+    "LeaseValidationError",
+]
 
 
 class _Group:
@@ -113,7 +123,7 @@ class _Group:
         self.split_into: List[int] = []
 
 
-class Coordinator:
+class Coordinator(LeaseTransport):
     """Dynamic scheduler of one scenario's task graph.
 
     Parameters
@@ -149,6 +159,21 @@ class Coordinator:
         coordinator always keeps a private registry as well — the
         :attr:`stats` view reads that one, so per-instance counts stay
         exact even when many coordinators share one sink.
+    deferred:
+        Optional set of scheduled tasks to **withhold from the queue**:
+        they count toward :attr:`done` but are never leased.  The owner
+        (e.g. the multi-tenant dedup router in
+        :mod:`repro.dist.service`) completes them out-of-band via
+        :meth:`inject_result` — or re-queues them with
+        :meth:`requeue_deferred` when the out-of-band source dies.
+        Tasks already resolved by the cache are ignored.
+    transport_label:
+        Short label of the wire this coordinator's leases travel over
+        (``"memory"``, ``"file"``, or ``"tcp"``).  Lifecycle counters and
+        the lease-latency histogram are mirrored into the shared registry
+        under *both* the unlabelled name (``coordinator.completed``) and
+        the per-transport name (``coordinator.completed.tcp``), so
+        ``top`` and the dashboard can tell file and TCP runs apart.
     """
 
     def __init__(
@@ -162,6 +187,8 @@ class Coordinator:
         clock: Callable[[], float] = time.monotonic,
         split_stragglers: bool = True,
         metrics: Optional[Metrics] = None,
+        deferred: Optional[Iterable[TaskSpec]] = None,
+        transport_label: str = "memory",
     ) -> None:
         if workers_hint < 1:
             raise ValueError("workers_hint must be at least 1")
@@ -171,6 +198,7 @@ class Coordinator:
         self._schedule: List[TaskSpec] = (
             list(tasks) if tasks is not None else schedule_tasks(spec)
         )
+        self._schedule_set: Set[TaskSpec] = set(self._schedule)
         self._cache = cache
         self._lease_timeout = lease_timeout
         self._clock = clock
@@ -178,6 +206,7 @@ class Coordinator:
         self._work_available = threading.Condition(self._lock)
         self._completed: Dict[TaskSpec, TaskResult] = {}
         self._split_stragglers = split_stragglers
+        self._transport_label = transport_label
         # Private registry (source of truth for the legacy ``stats`` view)
         # plus the optional shared sink every count is mirrored into.
         self._metrics = Metrics()
@@ -192,6 +221,17 @@ class Coordinator:
                 self._count("cache_hits", len(hits))
         else:
             pending_tasks = list(self._schedule)
+
+        deferred_set = set(deferred) if deferred is not None else set()
+        # Ordered set of withheld tasks, resolved by injection/requeue.
+        self._deferred: Dict[TaskSpec, None] = dict.fromkeys(
+            task for task in pending_tasks if task in deferred_set
+        )
+        if self._deferred:
+            pending_tasks = [
+                task for task in pending_tasks if task not in self._deferred
+            ]
+            self._count("deferred", len(self._deferred))
         self._scheduled_tasks: Tuple[TaskSpec, ...] = tuple(pending_tasks)
         if pending_tasks:
             self._count("scheduled", len(pending_tasks))
@@ -211,10 +251,18 @@ class Coordinator:
 
     # ------------------------------------------------------------ telemetry
     def _count(self, key: str, value: int = 1) -> None:
-        """Bump lifecycle counter ``key`` (private + shared registries)."""
+        """Bump lifecycle counter ``key`` (private + shared registries).
+
+        The shared sink additionally gets a per-transport twin
+        (``coordinator.<key>.<transport_label>``) so concurrent file and
+        TCP runs stay distinguishable in ``top`` and the dashboard.
+        """
         self._metrics.add(f"coordinator.{key}", value)
         if self._shared_metrics is not None:
             self._shared_metrics.add(f"coordinator.{key}", value)
+            self._shared_metrics.add(
+                f"coordinator.{key}.{self._transport_label}", value
+            )
 
     def _observe_lease_latency(self, lease_id: str, now: float) -> None:
         """Record grant→completion latency of a finishing lease."""
@@ -225,6 +273,9 @@ class Coordinator:
         self._metrics.observe("coordinator.lease_seconds", elapsed)
         if self._shared_metrics is not None:
             self._shared_metrics.observe("coordinator.lease_seconds", elapsed)
+            self._shared_metrics.observe(
+                f"coordinator.lease_seconds.{self._transport_label}", elapsed
+            )
 
     # ------------------------------------------------------------ inspection
     @property
@@ -239,8 +290,18 @@ class Coordinator:
 
     @property
     def scheduled_tasks(self) -> Tuple[TaskSpec, ...]:
-        """Tasks that entered the queue (i.e. were not served from cache)."""
+        """Tasks that entered the queue (not cache-served, not deferred)."""
         return self._scheduled_tasks
+
+    @property
+    def deferred_tasks(self) -> Tuple[TaskSpec, ...]:
+        """Tasks withheld from the queue, awaiting :meth:`inject_result`."""
+        with self._lock:
+            return tuple(self._deferred)
+
+    def spec_for_lease(self, lease: Lease) -> ScenarioSpec:
+        """The scenario spec every lease of this coordinator belongs to."""
+        return self._spec
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -346,6 +407,18 @@ class Coordinator:
             )
         self._work_available.notify_all()
         return True
+
+    def reclaim_expired(self) -> int:
+        """Reclaim every expired lease now; returns the number reclaimed.
+
+        :meth:`request_lease` does this implicitly, but a transport that
+        grants leases on demand (e.g. the TCP service's sweeper) needs an
+        explicit tick so expiries surface even while no worker is asking.
+        """
+        with self._lock:
+            before = self._metrics.counter("coordinator.reassignments")
+            self._reclaim_expired_locked(self._clock())
+            return self._metrics.counter("coordinator.reassignments") - before
 
     def request_lease(self, worker_id: str) -> Optional[Lease]:
         """Grant the next pending group to ``worker_id``.
@@ -486,6 +559,106 @@ class Coordinator:
             ):
                 sub_group.state = "done"
                 self._pending.remove(sub_group.group_id)
+
+    def renew_lease(self, lease_id: str) -> bool:
+        """Heartbeat: push a live lease's deadline out by the lease timeout.
+
+        Returns ``True`` when the lease was still current (its holder keeps
+        it for another full timeout window), ``False`` when it was already
+        completed, reclaimed, or unknown — renewing late is benign, the
+        worker just loses the extension and races the requeued copy like
+        any late completion.  Successful renewals count as ``renewals`` in
+        :attr:`stats`/metrics.
+        """
+        with self._lock:
+            group_id = self._leases.get(lease_id)
+            if group_id is None:
+                return False
+            group = self._groups[group_id]
+            if group.current_lease_id != lease_id or group.state != "leased":
+                return False
+            now = self._clock()
+            deadline = self._deadlines.get(lease_id)
+            if deadline is not None and deadline <= now:
+                # Expired but not yet reclaimed: reclaim rather than revive,
+                # so renewal cannot resurrect a lease another worker may
+                # already have been granted a copy of.
+                self._reclaim_expired_locked(now)
+                return False
+            self._deadlines[lease_id] = now + self._lease_timeout
+            self._count("renewals")
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "coordinator.lease.renewed",
+                    lease_id=lease_id,
+                    group=group.group_id,
+                    deadline=self._deadlines[lease_id],
+                )
+            return True
+
+    def inject_result(self, task: TaskSpec, result: TaskResult) -> bool:
+        """Complete one task out-of-band (no lease involved).
+
+        The multi-tenant service uses this to resolve **deferred** tasks
+        from another tenant's identical leaf (same provenance hash) or
+        from the server-lifetime memo.  Any scheduled task can be
+        injected; pending groups whose tasks are all now complete are
+        cancelled (their queue entries dropped), mirroring the straggler
+        reconciliation.  Returns ``True`` when the task was newly
+        completed, ``False`` when it already had a result.  Raises
+        :class:`LeaseValidationError` for a task outside the schedule.
+        """
+        if result.task != task:
+            raise LeaseValidationError("injected result does not match task")
+        with self._lock:
+            if task not in self._schedule_set:
+                raise LeaseValidationError(
+                    "injected task is not part of this coordinator's schedule"
+                )
+            if task in self._completed:
+                return False
+            self._completed[task] = result
+            self._deferred.pop(task, None)
+            self._count("injected")
+            # Cancel pending groups the injection just fully covered.
+            for group in self._groups:
+                if group.state == "pending" and all(
+                    t in self._completed for t in group.tasks
+                ):
+                    group.state = "done"
+                    self._pending.remove(group.group_id)
+            if self._cache is not None and task_is_deterministic(self._spec, task):
+                self._cache.put(self._spec, result)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("coordinator.result.injected")
+            self._work_available.notify_all()
+            return True
+
+    def requeue_deferred(self, tasks: Iterable[TaskSpec]) -> int:
+        """Promote deferred tasks back into the lease queue.
+
+        The service calls this when the out-of-band source of a deferred
+        task dies (its owning tenant disconnected mid-run): each still
+        uncompleted deferred task becomes a fresh single-task group at the
+        back of the queue.  Returns the number of tasks requeued.
+        """
+        with self._lock:
+            promoted: List[TaskSpec] = []
+            for task in tasks:
+                if task not in self._deferred or task in self._completed:
+                    continue
+                del self._deferred[task]
+                group = _Group(len(self._groups), (task,))
+                self._groups.append(group)
+                self._pending.append(group.group_id)
+                promoted.append(task)
+            if promoted:
+                self._count("scheduled", len(promoted))
+                self._scheduled_tasks = self._scheduled_tasks + tuple(promoted)
+                self._work_available.notify_all()
+            return len(promoted)
 
     def fail_lease(self, lease_id: str) -> None:
         """Return a lease to the queue immediately (a worker giving up).

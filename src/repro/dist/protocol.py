@@ -57,7 +57,14 @@ from repro.bench.tasks import (
     task_is_deterministic,
 )
 from repro.dist.cache import TaskCache, write_json_atomic
-from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT
+from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT, LeaseValidationError
+from repro.dist.transport import (
+    ExponentialBackoff,
+    Lease,
+    LeaseRenewer,
+    LeaseTransport,
+)
+from repro.obs import global_metrics
 
 #: Version tag of the work-directory format.
 WORKDIR_FORMAT = "repro-workdir-v1"
@@ -297,6 +304,196 @@ def _write_result(
 
 
 # ---------------------------------------------------------------------------
+# The file transport
+# ---------------------------------------------------------------------------
+class FileLeaseTransport(LeaseTransport):
+    """The shared-directory wire as an explicit :class:`LeaseTransport`.
+
+    A lease is one queue batch: claiming creates the ``O_EXCL`` claim
+    file, completion writes the result file atomically, renewal rewrites
+    the claim with a fresh ``claimed_at`` stamp (so a heartbeating
+    worker's claim is never stolen), and failing simply deletes the
+    claim.  Lease ids are ``<batch>.<attempt>`` where the attempt counts
+    *this* transport's claims of the batch — other workers' attempts are
+    invisible, which is fine: reconciliation happens through the
+    filesystem (first valid result file wins).
+
+    One instance serves one worker process/thread; it is cheap (spec and
+    batch files are parsed once) and thread-safe for the renewer-thread
+    pattern (renewal only touches the claim file).
+
+    Lifecycle counts are mirrored into ``metrics`` (default: the global
+    registry) under per-transport names — ``coordinator.completed.file``,
+    ``coordinator.lease_seconds.file`` — so file runs stay
+    distinguishable from in-memory and TCP runs in ``top``.
+    """
+
+    TRANSPORT_LABEL = "file"
+
+    def __init__(
+        self,
+        path: str,
+        worker_id: Optional[str] = None,
+        clock=time.time,
+        metrics=None,
+    ) -> None:
+        self._path = os.fspath(path)
+        self.worker_id = (
+            worker_id
+            if worker_id is not None
+            else f"{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        self._clock = clock
+        self._metrics = metrics if metrics is not None else global_metrics()
+        self._spec, meta = load_workdir(self._path)
+        self._spec_hash = meta["spec_hash"]
+        self._lease_timeout = float(meta["lease_timeout"])
+        self._batches = [_batch_name(index) for index in range(meta["batches"])]
+        # Queue batch files are immutable: parse each exactly once.
+        self._batch_tasks = {
+            batch: _load_batch_tasks(self._path, batch, self._spec_hash)
+            for batch in self._batches
+        }
+        self._known_done: Set[str] = set()
+        self._attempts: Dict[str, int] = {}
+        #: lease_id -> (batch, grant instant) for leases this worker holds.
+        self._held: Dict[str, Tuple[str, float]] = {}
+
+    def _count(self, key: str, value: int = 1) -> None:
+        self._metrics.add(f"coordinator.{key}.{self.TRANSPORT_LABEL}", value)
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self._spec
+
+    @property
+    def lease_timeout(self) -> float:
+        return self._lease_timeout
+
+    def spec_for_lease(self, lease: Lease) -> ScenarioSpec:
+        return self._spec
+
+    def _batch_of(self, lease_id: str) -> str:
+        held = self._held.get(lease_id)
+        if held is None:
+            raise LeaseValidationError(f"unknown lease id {lease_id!r}")
+        return held[0]
+
+    def request_lease(self, worker_id: str) -> Optional[Lease]:
+        """Claim the first available batch (scans in batch order)."""
+        now = self._clock()
+        for batch in self._batches:
+            if batch in self._known_done:
+                continue
+            tasks = self._batch_tasks[batch]
+            if (
+                _load_valid_result(self._path, batch, self._spec_hash, tasks)
+                is not None
+            ):
+                self._known_done.add(batch)
+                continue
+            if not _try_claim(
+                self._path, batch, worker_id, self._lease_timeout, now
+            ):
+                continue
+            attempt = self._attempts.get(batch, 0) + 1
+            self._attempts[batch] = attempt
+            lease_id = f"{batch}.{attempt}"
+            self._held[lease_id] = (batch, now)
+            return Lease(
+                lease_id=lease_id,
+                worker_id=worker_id,
+                tasks=tuple(tasks),
+                deadline=now + self._lease_timeout,
+                attempt=attempt,
+            )
+        return None
+
+    def complete_lease(
+        self, lease_id: str, results: Sequence[TaskResult]
+    ) -> bool:
+        """Write the batch's result file and release the claim."""
+        batch, granted = self._held.pop(lease_id)  # KeyError → programmer bug
+        tasks = self._batch_tasks[batch]
+        by_task = {result.task: result for result in results}
+        if len(by_task) != len(results) or set(by_task) != set(tasks):
+            self._count("rejected")
+            raise LeaseValidationError(
+                f"lease {lease_id!r}: results do not cover the leased tasks"
+            )
+        fresh = (
+            _load_valid_result(self._path, batch, self._spec_hash, tasks) is None
+        )
+        if fresh:
+            _write_result(self._path, batch, self._spec_hash, results)
+            self._count("completed", len(results))
+            self._metrics.observe(
+                f"coordinator.lease_seconds.{self.TRANSPORT_LABEL}",
+                self._clock() - granted,
+            )
+        else:
+            # Another worker (a claim-stealer) beat us to the result; ours
+            # is bit-identical (leaves are pure), so drop it.
+            self._count("duplicates")
+        _release_claim(self._path, batch)
+        self._known_done.add(batch)
+        return fresh
+
+    def renew_lease(self, lease_id: str) -> bool:
+        """Refresh the claim's ``claimed_at`` stamp (heartbeat).
+
+        Returns ``False`` when the claim no longer exists or now belongs
+        to another worker (it expired and was stolen).
+        """
+        held = self._held.get(lease_id)
+        if held is None:
+            return False
+        batch = held[0]
+        claim_path = _claim_path(self._path, batch)
+        try:
+            with open(claim_path, "r", encoding="utf-8") as handle:
+                claim = json.load(handle)
+            if claim.get("worker") != self.worker_id:
+                return False
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        write_json_atomic(
+            claim_path, {"worker": self.worker_id, "claimed_at": self._clock()}
+        )
+        self._count("renewals")
+        return True
+
+    def fail_lease(self, lease_id: str) -> None:
+        """Release the claim so any worker can re-claim immediately."""
+        batch, _ = self._held.pop(lease_id, (None, None))
+        if batch is None:
+            raise LeaseValidationError(f"unknown lease id {lease_id!r}")
+        _release_claim(self._path, batch)
+        self._count("failed_leases")
+
+    def wait_for_work(self, timeout: float) -> bool:
+        """Sleep — a shared directory has no condition variable to wait on."""
+        if timeout > 0:
+            time.sleep(timeout)
+        return self.done
+
+    @property
+    def done(self) -> bool:
+        """Does every batch have a valid result?"""
+        for batch in self._batches:
+            if batch in self._known_done:
+                continue
+            tasks = self._batch_tasks[batch]
+            if (
+                _load_valid_result(self._path, batch, self._spec_hash, tasks)
+                is None
+            ):
+                return False
+            self._known_done.add(batch)
+        return True
+
+
+# ---------------------------------------------------------------------------
 # Worker loop
 # ---------------------------------------------------------------------------
 def run_worker(
@@ -307,6 +504,8 @@ def run_worker(
     clock=time.time,
     stop: Optional["threading.Event"] = None,
     executor: Optional["Executor"] = None,
+    poll_cap: Optional[float] = None,
+    renew_interval: Optional[float] = None,
 ) -> int:
     """Pull and execute batches from a work directory until it is drained.
 
@@ -315,57 +514,63 @@ def run_worker(
     way are purged and re-executed, and claims past the lease timeout are
     stolen, so a single surviving worker always finishes the run.
 
+    Idle passes back off exponentially with jitter: the sleep starts at
+    ``poll`` and doubles up to ``poll_cap`` (default ``32 * poll``),
+    resetting whenever a batch is executed — so a fleet of idle workers
+    stops hammering a shared filesystem without delaying a busy one.
+
     ``stop`` (optional) ends the loop early at the next batch boundary —
     the coordinator sets it when it gives up on the directory.  ``executor``
     (optional) runs each batch on an executor instead of this thread, so
     several in-process worker threads can execute truly in parallel on a
     shared process pool (the ``coordinate`` CLI does exactly that).
+    ``renew_interval`` (optional) heartbeats the claim of the executing
+    batch every that-many seconds, so lease timeouts can be tightened for
+    fast failover without stealing from healthy stragglers.
     """
-    path = os.fspath(path)
-    if worker_id is None:
-        worker_id = f"{os.getpid()}-{uuid.uuid4().hex[:6]}"
-    spec, meta = load_workdir(path)
-    spec_hash = meta["spec_hash"]
-    lease_timeout = float(meta["lease_timeout"])
-    batches = [_batch_name(index) for index in range(meta["batches"])]
-    # Queue batch files are immutable: parse each exactly once.
-    batch_tasks = {
-        batch: _load_batch_tasks(path, batch, spec_hash) for batch in batches
-    }
-    known_done: Set[str] = set()
+    transport = FileLeaseTransport(path, worker_id=worker_id, clock=clock)
+    backoff = ExponentialBackoff(
+        poll, poll_cap if poll_cap is not None else poll * 32
+    )
     executed = 0
     while True:
         if max_batches is not None and executed >= max_batches:
             return executed
         if stop is not None and stop.is_set():
             return executed
-        progressed = False
-        for batch in batches:
-            if batch in known_done:
-                continue
-            if stop is not None and stop.is_set():
+        lease = transport.request_lease(transport.worker_id)
+        if lease is None:
+            if transport.done:
                 return executed
-            tasks = batch_tasks[batch]
-            if _load_valid_result(path, batch, spec_hash, tasks) is not None:
-                known_done.add(batch)
-                continue
-            if not _try_claim(path, batch, worker_id, lease_timeout, clock()):
-                continue
+            delay = backoff.next()
+            if stop is not None:
+                if stop.wait(delay):
+                    return executed
+            else:
+                time.sleep(delay)
+            continue
+        backoff.reset()
+        spec = transport.spec_for_lease(lease)
+        tasks = list(lease.tasks)
+        renewer = (
+            LeaseRenewer(
+                lambda: transport.renew_lease(lease.lease_id), renew_interval
+            )
+            if renew_interval is not None
+            else None
+        )
+        try:
+            if renewer is not None:
+                renewer.start()
             if executor is not None:
                 results = executor.submit(_execute_task_group, spec, tasks).result()
             else:
                 results = _execute_task_group(spec, tasks)
-            _write_result(path, batch, spec_hash, results)
-            _release_claim(path, batch)
-            known_done.add(batch)
-            executed += 1
-            progressed = True
-            if max_batches is not None and executed >= max_batches:
-                return executed
-        if len(known_done) == len(batches):
-            return executed
-        if not progressed:
-            time.sleep(poll)
+        finally:
+            if renewer is not None:
+                renewer.stop()
+        transport.complete_lease(lease.lease_id, results)
+        executed += 1
 
 
 # ---------------------------------------------------------------------------
@@ -411,6 +616,7 @@ def collect_results(
     poll: float = 0.1,
     cache: Optional[TaskCache] = None,
     clock=time.time,
+    poll_cap: Optional[float] = None,
 ) -> Tuple[ScenarioSpec, List[TaskResult]]:
     """Wait for full, valid coverage of the schedule and return the results.
 
@@ -421,11 +627,19 @@ def collect_results(
     guarantee as a shard ``merge``.  Newly computed deterministic results
     are written to ``cache`` when one is given.  Raises ``TimeoutError``
     when ``timeout`` seconds pass without full coverage.
+
+    Polling backs off exponentially with jitter from ``poll`` up to
+    ``poll_cap`` (default ``32 * poll``), resetting whenever a new batch
+    result lands, so an idle collector stops hammering the shared
+    filesystem while a busy one stays responsive.
     """
     path = os.fspath(path)
     spec, meta = load_workdir(path)
     spec_hash = meta["spec_hash"]
     lease_timeout = float(meta["lease_timeout"])
+    backoff = ExponentialBackoff(
+        poll, poll_cap if poll_cap is not None else poll * 32
+    )
     batches = [_batch_name(index) for index in range(meta["batches"])]
     # Queue batch files are immutable: parse each exactly once.  Validated
     # results are cached across poll iterations too — result writes are
@@ -438,6 +652,7 @@ def collect_results(
     deadline = None if timeout is None else clock() + timeout
     while True:
         missing: List[str] = []
+        progressed = False
         for batch in batches:
             if batch in collected:
                 continue
@@ -446,6 +661,7 @@ def collect_results(
                 missing.append(batch)
             else:
                 collected[batch] = results
+                progressed = True
         if meta.get("cached_tasks", 0) and CACHED_BATCH not in collected:
             cached = _load_valid_result(path, CACHED_BATCH, spec_hash, None)
             if cached is None:
@@ -491,4 +707,6 @@ def collect_results(
                 f"{path}: timed out waiting for {len(missing)} batch(es): "
                 f"{missing[:5]}"
             )
-        time.sleep(poll)
+        if progressed:
+            backoff.reset()
+        time.sleep(backoff.next())

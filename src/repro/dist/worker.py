@@ -30,8 +30,14 @@ from repro.bench.tasks import (
 )
 from repro.dist.cache import TaskCache
 from repro.dist.coordinator import DEFAULT_LEASE_TIMEOUT, Coordinator, Lease
+from repro.dist.transport import LeaseRenewer, LeaseTransport
 from repro.obs import METRICS_OUT_ENV_VAR, get_tracer, global_metrics
 from repro.obs.dashboard import MetricsPublisher
+
+
+def _renew_callback(transport: "LeaseTransport", lease_id: str):
+    """Bind one lease's renewal to a zero-argument heartbeat callable."""
+    return lambda: transport.renew_lease(lease_id)
 
 # ----------------------------------------------------- shared process pool
 # One persistent ProcessPoolExecutor shared by successive run_coordinated
@@ -78,12 +84,19 @@ atexit.register(shutdown_shared_pool)
 class Worker(threading.Thread):
     """One lease-pulling worker thread.
 
+    Drains any :class:`~repro.dist.transport.LeaseTransport` — the
+    in-memory :class:`Coordinator`, the file protocol's
+    :class:`~repro.dist.protocol.FileLeaseTransport`, or the TCP
+    service's :class:`~repro.dist.service.RemoteLeaseTransport` — the
+    loop only speaks the transport's message vocabulary.
+
     Parameters
     ----------
     worker_id:
         Identifier recorded on every lease this worker holds.
-    coordinator:
-        The coordinator to pull leases from.
+    transport:
+        The lease transport to pull leases from (historically always a
+        :class:`Coordinator`).
     executor:
         Optional executor; when given, lease groups are submitted to it
         (one lease = one submission) instead of executing on this thread.
@@ -93,24 +106,31 @@ class Worker(threading.Thread):
         Optional hook called with every granted :class:`Lease` before
         execution — the fault-injection seam used by the tests (raising
         here simulates a worker dying mid-lease).
+    renew_interval:
+        Optional heartbeat period in seconds: while a lease executes, a
+        :class:`~repro.dist.transport.LeaseRenewer` thread extends its
+        deadline every that-many seconds, so lease timeouts can be much
+        shorter than the slowest healthy lease.
     """
 
     def __init__(
         self,
         worker_id: str,
-        coordinator: Coordinator,
+        transport: "LeaseTransport",
         executor: Optional[Executor] = None,
         poll: float = 0.05,
         on_lease: Optional[Callable[[Lease], None]] = None,
+        renew_interval: Optional[float] = None,
     ) -> None:
         super().__init__(name=f"repro-dist-{worker_id}", daemon=True)
         self.worker_id = worker_id
         self.error: Optional[BaseException] = None
         self.completed_leases = 0
-        self._coordinator = coordinator
+        self._transport = transport
         self._executor = executor
         self._poll = poll
         self._on_lease = on_lease
+        self._renew_interval = renew_interval
 
     def run(self) -> None:  # pragma: no cover - thin wrapper around drain()
         try:
@@ -119,34 +139,49 @@ class Worker(threading.Thread):
             self.error = exc
 
     def drain(self) -> int:
-        """Pull and execute leases until the coordinator is done.
+        """Pull and execute leases until the transport is done.
 
         Returns the number of leases this worker completed.  Runs on the
         calling thread — ``start()`` runs it on the worker thread instead.
         """
-        coordinator = self._coordinator
+        transport = self._transport
         while True:
-            lease = coordinator.request_lease(self.worker_id)
+            lease = transport.request_lease(self.worker_id)
             if lease is None:
-                if coordinator.done:
+                if transport.done:
                     return self.completed_leases
-                coordinator.wait_for_work(self._poll)
+                transport.wait_for_work(self._poll)
                 continue
             if self._on_lease is not None:
                 self._on_lease(lease)
             try:
-                tracer = get_tracer()
-                if tracer.enabled:
-                    with tracer.span(
-                        "worker.lease",
-                        lease_id=lease.lease_id,
-                        worker=self.worker_id,
-                        tasks=len(lease.tasks),
-                    ):
-                        results = self._execute(coordinator.spec, list(lease.tasks))
-                else:
-                    results = self._execute(coordinator.spec, list(lease.tasks))
-                coordinator.complete_lease(lease.lease_id, results)
+                spec = transport.spec_for_lease(lease)
+                renewer = (
+                    LeaseRenewer(
+                        _renew_callback(transport, lease.lease_id),
+                        self._renew_interval,
+                    )
+                    if self._renew_interval is not None
+                    else None
+                )
+                try:
+                    if renewer is not None:
+                        renewer.start()
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        with tracer.span(
+                            "worker.lease",
+                            lease_id=lease.lease_id,
+                            worker=self.worker_id,
+                            tasks=len(lease.tasks),
+                        ):
+                            results = self._execute(spec, list(lease.tasks))
+                    else:
+                        results = self._execute(spec, list(lease.tasks))
+                finally:
+                    if renewer is not None:
+                        renewer.stop()
+                transport.complete_lease(lease.lease_id, results)
             except BaseException:
                 # An execution failure hands the lease back immediately
                 # instead of waiting out the lease timeout.  Deliberately
@@ -154,7 +189,7 @@ class Worker(threading.Thread):
                 # simulates a worker dying silently, and the tests pin the
                 # resulting expiry/reassignment behaviour.
                 try:
-                    coordinator.fail_lease(lease.lease_id)
+                    transport.fail_lease(lease.lease_id)
                 except Exception:
                     pass
                 raise
@@ -183,6 +218,7 @@ def run_coordinated(
     cache: Optional[TaskCache] = None,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     use_processes: Optional[bool] = None,
+    renew_interval: Optional[float] = None,
 ) -> Coordinator:
     """Execute a scenario's schedule through a coordinator with local workers.
 
@@ -216,14 +252,19 @@ def run_coordinated(
         if use_processes is None:
             use_processes = workers > 1
         if workers == 1 and not use_processes:
-            Worker("worker-0", coordinator).drain()
+            Worker("worker-0", coordinator, renew_interval=renew_interval).drain()
         else:
             pool: Optional[ProcessPoolExecutor] = None
             try:
                 if use_processes:
                     pool = shared_process_pool(workers)
                 threads = [
-                    Worker(f"worker-{index}", coordinator, executor=pool)
+                    Worker(
+                        f"worker-{index}",
+                        coordinator,
+                        executor=pool,
+                        renew_interval=renew_interval,
+                    )
                     for index in range(workers)
                 ]
                 for thread in threads:
